@@ -1,0 +1,62 @@
+//! One benchmark per table/figure: each target regenerates (a reduced
+//! preset of) the corresponding result, so `cargo bench` exercises the
+//! entire reproduction pipeline end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftqc_experiments as exp;
+use ftqc_experiments::Config;
+use std::time::Duration;
+
+/// Minimal preset so every figure completes within a bench iteration.
+fn bench_config() -> Config {
+    Config {
+        shots: 150,
+        distances: vec![3],
+        focus_distance: 3,
+        threads: 2,
+        seed: 99,
+    }
+}
+
+macro_rules! fig_bench {
+    ($group:expr, $name:literal, $module:path) => {{
+        let cfg = bench_config();
+        $group.bench_function($name, |b| {
+            b.iter(|| {
+                use $module as m;
+                std::hint::black_box(m::run(&cfg))
+            })
+        });
+    }};
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    fig_bench!(g, "fig01_repetition", exp::fig01c);
+    fig_bench!(g, "fig01d_norm_t", exp::fig1d);
+    fig_bench!(g, "fig03_sync_rate", exp::fig03c);
+    fig_bench!(g, "fig04_cultivation", exp::fig04a);
+    fig_bench!(g, "fig04_qldpc", exp::fig04b);
+    fig_bench!(g, "fig06_physical", exp::fig06);
+    fig_bench!(g, "fig07_hamming", exp::fig07);
+    fig_bench!(g, "fig10_solver", exp::fig10);
+    fig_bench!(g, "fig11_hybrid_map", exp::fig11);
+    fig_bench!(g, "fig14_reduction", exp::fig14);
+    fig_bench!(g, "fig15_cost_of_sync", exp::fig15);
+    fig_bench!(g, "fig16_program_ler", exp::fig16);
+    fig_bench!(g, "fig17_active_intra", exp::fig17);
+    fig_bench!(g, "fig18_extra_rounds", exp::fig18);
+    fig_bench!(g, "fig19_table4_policies", exp::fig19_table4);
+    fig_bench!(g, "fig20_engine_latency", exp::fig20);
+    fig_bench!(g, "fig21_table5_neutral_atom", exp::fig21_table5);
+    fig_bench!(g, "fig22_decoder", exp::fig22);
+    fig_bench!(g, "table1_counts", exp::table1);
+    fig_bench!(g, "table2_policies", exp::table2);
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

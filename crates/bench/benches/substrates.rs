@@ -1,0 +1,80 @@
+//! Microbenchmarks of the simulation and decoding substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftqc_decoder::{Decoder, DecodingGraph, MwpmDecoder, UfDecoder};
+use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
+use ftqc_pauli::Tableau;
+use ftqc_sim::{sample_batch, DetectorErrorModel};
+use ftqc_surface::MemoryConfig;
+use ftqc_sync::{PatchId, SyncEngine, SyncPolicy};
+use std::time::Duration;
+
+fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("substrates");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let hw = HardwareConfig::ibm();
+    let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&MemoryConfig::new(5, 6, &hw).build());
+    let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+    let graph = DecodingGraph::from_dem(&dem);
+    let uf = UfDecoder::new(graph.clone());
+    let mwpm = MwpmDecoder::new(graph);
+    let batch = sample_batch(&circuit, 256, 1);
+    let syndromes: Vec<Vec<u32>> = (0..batch.shots).map(|s| batch.flagged_detectors(s)).collect();
+
+    let mut g = configured(c);
+    g.bench_function("frame_sampler_d5_1024_shots", |b| {
+        b.iter(|| sample_batch(&circuit, 1024, 7))
+    });
+    g.bench_function("dem_extraction_d5", |b| {
+        b.iter(|| DetectorErrorModel::from_circuit(&circuit, true))
+    });
+    g.bench_function("uf_decode_d5_256_shots", |b| {
+        b.iter(|| {
+            syndromes
+                .iter()
+                .map(|s| uf.predict(s))
+                .fold(0u32, |a, m| a ^ m)
+        })
+    });
+    g.bench_function("mwpm_decode_d5_256_shots", |b| {
+        b.iter(|| {
+            syndromes
+                .iter()
+                .map(|s| mwpm.predict(s))
+                .fold(0u32, |a, m| a ^ m)
+        })
+    });
+    g.bench_function("tableau_d5_memory_round", |b| {
+        b.iter(|| {
+            let mut t = Tableau::new(49);
+            for q in 0..25 {
+                t.h(q);
+            }
+            for q in 0..24 {
+                t.cx(q, q + 25.min(48 - q));
+            }
+            let (m, _) = t.measure_z(0, || false);
+            m
+        })
+    });
+    // Paper Fig. 20 right panel as a microbenchmark: planning latency
+    // for 50 patches.
+    g.bench_function("sync_engine_50_patches", |b| {
+        let mut engine = SyncEngine::new();
+        let ids: Vec<PatchId> = (0..50)
+            .map(|i| engine.register_patch(1000 + (i * 37) % 400))
+            .collect();
+        engine.advance(12_345);
+        b.iter(|| engine.synchronize(&ids, SyncPolicy::hybrid(400.0), 12).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

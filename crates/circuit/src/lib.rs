@@ -1,0 +1,40 @@
+//! Timed stabilizer-circuit intermediate representation.
+//!
+//! The surface-code generator in `ftqc-surface` produces a [`Schedule`]:
+//! a list of layer operations with explicit start times and durations,
+//! mirroring how the paper's `lattice-sim` tracks per-qubit timing so
+//! that idling errors can be annotated after every operation. A noise
+//! model (in `ftqc-noise`) lowers a `Schedule` into a flat noisy
+//! [`Circuit`], which the samplers in `ftqc-sim` consume.
+//!
+//! The IR is deliberately close to Stim's circuit language: Clifford
+//! layers, resets, measurements (which append to a measurement record),
+//! Pauli/depolarizing channels, and `DETECTOR` / `OBSERVABLE_INCLUDE`
+//! instructions that reference absolute measurement-record indices.
+//!
+//! # Example
+//!
+//! ```
+//! use ftqc_circuit::{Circuit, DetectorBasis, MeasRef, Op};
+//!
+//! let mut c = Circuit::new(2);
+//! c.push(Op::ResetZ(vec![0, 1]));
+//! c.push(Op::h([0]));
+//! c.push(Op::cx([(0, 1)]));
+//! c.push(Op::measure_z([0, 1], 0.0));
+//! // The two Z measurements of a Bell pair have even parity.
+//! c.push(Op::detector([MeasRef(0), MeasRef(1)], DetectorBasis::Z));
+//! assert_eq!(c.num_measurements(), 2);
+//! assert_eq!(c.num_detectors(), 1);
+//! c.validate().unwrap();
+//! ```
+
+mod circuit;
+mod op;
+mod parse;
+mod schedule;
+
+pub use circuit::{Circuit, CircuitError, CircuitStats};
+pub use parse::ParseCircuitError;
+pub use op::{DetectorBasis, MeasRef, Op, Qubit};
+pub use schedule::{Schedule, ScheduledOp};

@@ -1,0 +1,183 @@
+//! Timed schedules: circuits with explicit per-op start times.
+
+use crate::op::Op;
+use crate::Circuit;
+
+/// An operation with an explicit start time and duration (nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledOp {
+    /// Start time in nanoseconds from circuit start.
+    pub start: f64,
+    /// Duration in nanoseconds (zero for annotations).
+    pub duration: f64,
+    /// The operation.
+    pub op: Op,
+}
+
+/// A circuit whose operations carry explicit wall-clock timing.
+///
+/// Schedules are what the surface-code builder emits: every gate layer,
+/// measurement and annotation has a start time and duration, so a noise
+/// model can compute how long each qubit idles between its operations and
+/// insert the corresponding decoherence channels — exactly the behaviour
+/// the paper describes for `lattice-sim` ("annotates idling errors based
+/// on the idle periods experienced by the qubits after every operation").
+///
+/// Synchronization policies act on schedules by inserting *time gaps*
+/// (idle periods) rather than explicit noise ops; the noise annotator
+/// turns those gaps into Pauli idle channels.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_circuit::{Op, Schedule};
+///
+/// let mut s = Schedule::new(2);
+/// s.push(0.0, 50.0, Op::h([0]));
+/// s.push(50.0, 70.0, Op::cx([(0, 1)]));
+/// s.push(120.0, 1500.0, Op::measure_z([0, 1], 0.0));
+/// assert_eq!(s.end_time(), 1620.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    num_qubits: u32,
+    ops: Vec<ScheduledOp>,
+}
+
+impl Schedule {
+    /// An empty schedule over `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Schedule {
+        Schedule {
+            num_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubits in the register.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Appends an operation starting at `start` lasting `duration` ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` or `duration` is negative or non-finite.
+    pub fn push(&mut self, start: f64, duration: f64, op: Op) {
+        assert!(
+            start.is_finite() && start >= 0.0,
+            "op start must be finite and non-negative, got {start}"
+        );
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "op duration must be finite and non-negative, got {duration}"
+        );
+        self.ops.push(ScheduledOp {
+            start,
+            duration,
+            op,
+        });
+    }
+
+    /// The scheduled operations in insertion order.
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// The operations sorted by start time (ties keep insertion order),
+    /// which is the execution order used when lowering to a [`Circuit`].
+    pub fn sorted_ops(&self) -> Vec<&ScheduledOp> {
+        let mut v: Vec<&ScheduledOp> = self.ops.iter().collect();
+        v.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        v
+    }
+
+    /// End time of the schedule: max over ops of `start + duration`.
+    pub fn end_time(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|s| s.start + s.duration)
+            .fold(0.0, f64::max)
+    }
+
+    /// Lowers the schedule to a flat noiseless [`Circuit`] (insertion
+    /// order, timing dropped — builders emit each qubit's timeline
+    /// chronologically, so insertion order keeps measurement record
+    /// indices stable). Noise models provide their own lowering that
+    /// inserts gate and idle errors.
+    pub fn to_circuit(&self) -> Circuit {
+        let mut c = Circuit::new(self.num_qubits);
+        for s in self.ops() {
+            c.push(s.op.clone());
+        }
+        c
+    }
+
+    /// Shifts every op starting at or after `at` forward by `delta` ns,
+    /// opening an idle gap in the schedule. Used by synchronization
+    /// policies to insert slack.
+    pub fn insert_gap(&mut self, at: f64, delta: f64) {
+        assert!(delta >= 0.0, "gap must be non-negative");
+        for s in &mut self.ops {
+            if s.start >= at {
+                s.start += delta;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MeasRef;
+
+    #[test]
+    fn sorted_ops_orders_by_time() {
+        let mut s = Schedule::new(2);
+        s.push(100.0, 10.0, Op::h([1]));
+        s.push(0.0, 10.0, Op::h([0]));
+        let order: Vec<f64> = s.sorted_ops().iter().map(|o| o.start).collect();
+        assert_eq!(order, vec![0.0, 100.0]);
+    }
+
+    #[test]
+    fn to_circuit_preserves_records() {
+        let mut s = Schedule::new(1);
+        s.push(0.0, 10.0, Op::ResetZ(vec![0]));
+        s.push(10.0, 100.0, Op::measure_z([0], 0.0));
+        s.push(
+            110.0,
+            0.0,
+            Op::detector([MeasRef(0)], crate::DetectorBasis::Z),
+        );
+        let c = s.to_circuit();
+        assert_eq!(c.num_measurements(), 1);
+        assert_eq!(c.num_detectors(), 1);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_gap_shifts_later_ops_only() {
+        let mut s = Schedule::new(1);
+        s.push(0.0, 10.0, Op::h([0]));
+        s.push(20.0, 10.0, Op::h([0]));
+        s.insert_gap(15.0, 100.0);
+        assert_eq!(s.ops()[0].start, 0.0);
+        assert_eq!(s.ops()[1].start, 120.0);
+    }
+
+    #[test]
+    fn end_time_is_max_extent() {
+        let mut s = Schedule::new(1);
+        s.push(0.0, 500.0, Op::h([0]));
+        s.push(100.0, 10.0, Op::h([0]));
+        assert_eq!(s.end_time(), 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_start_panics() {
+        let mut s = Schedule::new(1);
+        s.push(-1.0, 0.0, Op::h([0]));
+    }
+}

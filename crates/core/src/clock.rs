@@ -1,0 +1,197 @@
+//! Logical clocks and k-patch synchronization (paper Section 4.3).
+
+use crate::policy::{plan_sync, SyncPlan, SyncPolicy};
+use crate::SyncError;
+
+/// The logical clock of a patch: every patch completes one
+/// syndrome-generation cycle per logical clock cycle, but the *phase*
+/// of that clock varies between patches (paper Section 1), which is
+/// what creates synchronization slack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogicalClock {
+    /// Duration of one syndrome-generation cycle, nanoseconds.
+    pub cycle_time_ns: f64,
+    /// Time already elapsed in the current cycle, nanoseconds
+    /// (`0 <= phase < cycle_time`).
+    pub phase_ns: f64,
+}
+
+impl LogicalClock {
+    /// Creates a clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_time_ns <= 0` or `phase_ns` is outside
+    /// `[0, cycle_time_ns)`.
+    pub fn new(cycle_time_ns: f64, phase_ns: f64) -> LogicalClock {
+        assert!(cycle_time_ns > 0.0, "cycle time must be positive");
+        assert!(
+            (0.0..cycle_time_ns).contains(&phase_ns),
+            "phase {phase_ns} outside [0, {cycle_time_ns})"
+        );
+        LogicalClock {
+            cycle_time_ns,
+            phase_ns,
+        }
+    }
+
+    /// Time remaining until this patch completes its current cycle.
+    pub fn time_to_cycle_end_ns(&self) -> f64 {
+        self.cycle_time_ns - self.phase_ns
+    }
+
+    /// The slack this patch must absorb to align with `slowest`: the
+    /// extra time the slowest (most lagging) patch needs to finish its
+    /// current cycle after this patch finishes its own.
+    pub fn slack_against_ns(&self, slowest: &LogicalClock) -> f64 {
+        (slowest.time_to_cycle_end_ns() - self.time_to_cycle_end_ns()).max(0.0)
+    }
+}
+
+/// Synchronizes `k` patches: identifies the slowest (most lagging)
+/// patch and plans a pairwise synchronization of every other patch
+/// against it. All pairwise plans are independent, so a controller can
+/// apply them in parallel — the constant-time property the paper claims
+/// in Section 4.3.
+///
+/// When the requested policy is infeasible for a particular pair (e.g.
+/// [`SyncPolicy::ExtraRounds`] between equal cycle times, or a Hybrid
+/// bound with no solution), that pair falls back to
+/// [`SyncPolicy::Active`], mirroring the runtime policy selection
+/// described in Section 5.
+///
+/// Returns `(plans, slowest_index)`; the slowest patch gets a no-op
+/// plan.
+///
+/// # Errors
+///
+/// Returns [`SyncError::InvalidParameter`] for an empty patch list or
+/// `rounds == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_sync::{synchronize_patches, LogicalClock, SyncPolicy};
+///
+/// let clocks = [
+///     LogicalClock::new(1900.0, 500.0),
+///     LogicalClock::new(1900.0, 0.0),
+///     LogicalClock::new(1900.0, 1200.0),
+/// ];
+/// let (plans, slowest) = synchronize_patches(SyncPolicy::Active, &clocks, 8).unwrap();
+/// assert_eq!(slowest, 1); // phase 0: the full cycle still ahead of it
+/// assert_eq!(plans[1].total_idle_ns(), 0.0);
+/// assert!(plans[2].total_idle_ns() > plans[0].total_idle_ns());
+/// ```
+pub fn synchronize_patches(
+    policy: SyncPolicy,
+    clocks: &[LogicalClock],
+    rounds: u32,
+) -> Result<(Vec<SyncPlan>, usize), SyncError> {
+    if clocks.is_empty() {
+        return Err(SyncError::InvalidParameter("no patches to synchronize"));
+    }
+    if rounds == 0 {
+        return Err(SyncError::InvalidParameter("rounds must be positive"));
+    }
+    // The slowest patch is the one that takes longest to complete its
+    // current code cycle.
+    let slowest = clocks
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.time_to_cycle_end_ns()
+                .partial_cmp(&b.1.time_to_cycle_end_ns())
+                .expect("finite clock values")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let slow = &clocks[slowest];
+    let mut plans = Vec::with_capacity(clocks.len());
+    for (i, c) in clocks.iter().enumerate() {
+        if i == slowest {
+            plans.push(SyncPlan::noop(policy, rounds));
+            continue;
+        }
+        let tau = c.slack_against_ns(slow);
+        let plan = plan_sync(policy, tau, c.cycle_time_ns, slow.cycle_time_ns, rounds)
+            .or_else(|_| plan_sync(SyncPolicy::Active, tau, c.cycle_time_ns, slow.cycle_time_ns, rounds))?;
+        plans.push(plan);
+    }
+    Ok((plans, slowest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_is_time_difference_to_cycle_end() {
+        let leading = LogicalClock::new(1900.0, 1500.0); // finishes in 400
+        let lagging = LogicalClock::new(1900.0, 300.0); // finishes in 1600
+        assert!((leading.slack_against_ns(&lagging) - 1200.0).abs() < 1e-9);
+        assert_eq!(lagging.slack_against_ns(&leading), 0.0);
+    }
+
+    #[test]
+    fn k_patch_sync_targets_slowest() {
+        let clocks = [
+            LogicalClock::new(1900.0, 100.0),
+            LogicalClock::new(1900.0, 900.0),
+            LogicalClock::new(1900.0, 1800.0),
+        ];
+        let (plans, slowest) = synchronize_patches(SyncPolicy::Passive, &clocks, 8).unwrap();
+        assert_eq!(slowest, 0);
+        assert_eq!(plans[0].total_idle_ns(), 0.0);
+        assert!((plans[1].total_idle_ns() - 800.0).abs() < 1e-9);
+        assert!((plans[2].total_idle_ns() - 1700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_cycle_times_allow_hybrid() {
+        let clocks = [
+            LogicalClock::new(1000.0, 0.0),   // finishes in 1000
+            LogicalClock::new(1325.0, 425.0), // finishes in 900: leads
+        ];
+        let (plans, slowest) =
+            synchronize_patches(SyncPolicy::hybrid(400.0), &clocks, 8).unwrap();
+        assert_eq!(slowest, 0);
+        assert_eq!(plans[1].extra_rounds, 2); // min residual 250 at z = 2
+        assert!((plans[1].total_idle_ns() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_policy_falls_back_to_active() {
+        // Equal cycle times: ExtraRounds is impossible, falls back.
+        let clocks = [
+            LogicalClock::new(1900.0, 500.0),
+            LogicalClock::new(1900.0, 0.0),
+        ];
+        let (plans, slowest) =
+            synchronize_patches(SyncPolicy::ExtraRounds, &clocks, 8).unwrap();
+        assert_eq!(slowest, 1);
+        assert_eq!(plans[0].policy, SyncPolicy::Active);
+        assert!((plans[0].total_idle_ns() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_rounds_rejected() {
+        assert!(synchronize_patches(SyncPolicy::Active, &[], 8).is_err());
+        let c = [LogicalClock::new(1000.0, 0.0)];
+        assert!(synchronize_patches(SyncPolicy::Active, &c, 0).is_err());
+    }
+
+    #[test]
+    fn single_patch_is_trivially_synchronized() {
+        let c = [LogicalClock::new(1000.0, 400.0)];
+        let (plans, slowest) = synchronize_patches(SyncPolicy::Active, &c, 4).unwrap();
+        assert_eq!(slowest, 0);
+        assert_eq!(plans[0].total_idle_ns(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn phase_must_be_within_cycle() {
+        LogicalClock::new(1000.0, 1000.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for synchronization planning.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a synchronization plan could not be produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncError {
+    /// Extra-rounds synchronization requires `T_P != T_P'` (paper
+    /// Section 4.1.4); with equal cycle times only Passive/Active work.
+    EqualCycleTimes {
+        /// The common cycle time in nanoseconds.
+        cycle_time_ns: f64,
+    },
+    /// Eq. (1) has no integral solution within the round budget.
+    NoIntegralSolution {
+        /// Leading patch cycle time.
+        t_p_ns: f64,
+        /// Lagging patch cycle time.
+        t_p_prime_ns: f64,
+        /// Initial slack.
+        tau_ns: f64,
+        /// Largest number of extra rounds tried.
+        max_rounds: u32,
+    },
+    /// Eq. (2) has no solution with residual slack below `epsilon`
+    /// within the round budget.
+    NoHybridSolution {
+        /// Slack tolerance.
+        epsilon_ns: f64,
+        /// Largest number of extra rounds tried.
+        max_rounds: u32,
+    },
+    /// A parameter was invalid (non-positive cycle time, negative slack,
+    /// zero rounds, ...).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::EqualCycleTimes { cycle_time_ns } => write!(
+                f,
+                "extra rounds cannot synchronize patches with equal cycle times ({cycle_time_ns} ns)"
+            ),
+            SyncError::NoIntegralSolution {
+                t_p_ns,
+                t_p_prime_ns,
+                tau_ns,
+                max_rounds,
+            } => write!(
+                f,
+                "no integral solution to m*{t_p_ns} + {tau_ns} = n*{t_p_prime_ns} within {max_rounds} rounds"
+            ),
+            SyncError::NoHybridSolution {
+                epsilon_ns,
+                max_rounds,
+            } => write!(
+                f,
+                "no hybrid solution with residual slack below {epsilon_ns} ns within {max_rounds} rounds"
+            ),
+            SyncError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for SyncError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SyncError::EqualCycleTimes {
+            cycle_time_ns: 1000.0,
+        };
+        assert!(e.to_string().contains("equal cycle times"));
+        let e = SyncError::NoHybridSolution {
+            epsilon_ns: 100.0,
+            max_rounds: 5,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+}

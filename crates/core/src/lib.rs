@@ -1,0 +1,59 @@
+//! Synchronization policies and control microarchitecture for
+//! fault-tolerant quantum computers.
+//!
+//! This crate implements the primary contribution of *Synchronization
+//! for Fault-Tolerant Quantum Computers* (ISCA 2025): policies that
+//! eliminate the synchronization slack between logical surface-code
+//! patches before a Lattice Surgery operation, and the runtime
+//! microarchitecture that computes and applies them.
+//!
+//! * [`SyncPolicy`] / [`SyncPlan`] — the Passive, Active, Active-intra,
+//!   Extra-Rounds and Hybrid policies (paper Section 4), planned from a
+//!   slack `tau` and the patch cycle times.
+//! * [`solve_extra_rounds`] — the Diophantine condition of Eq. (1).
+//! * [`solve_hybrid`] — the bounded-slack condition of Eq. (2).
+//! * [`LogicalClock`] and [`synchronize_patches`] — k-patch
+//!   synchronization by pairwise alignment against the most lagging
+//!   patch (Section 4.3).
+//! * [`SyncEngine`] — the patch counter table, phase calculator and
+//!   slack calculator of the control microarchitecture (Section 5,
+//!   Fig. 12), plus a discrete-event [`Controller`] that executes
+//!   synchronized schedules.
+//! * [`CultivationModel`] / [`qldpc_slack`] — the desynchronization
+//!   case studies of Section 3.4 (magic-state cultivation and qLDPC
+//!   memories).
+//!
+//! # Example
+//!
+//! ```
+//! use ftqc_sync::{plan_sync, SyncPolicy};
+//!
+//! // Patch P leads patch P' by 1000 ns; cycle times differ (Table 2).
+//! let plan = plan_sync(
+//!     SyncPolicy::hybrid(400.0),
+//!     1000.0, // tau
+//!     1000.0, // T_P
+//!     1325.0, // T_P'
+//!     8,      // rounds available before the merge (d + 1)
+//! )
+//! .unwrap();
+//! assert_eq!(plan.extra_rounds, 4);
+//! assert!((plan.total_idle_ns() - 300.0).abs() < 1e-6);
+//! ```
+
+mod case_studies;
+mod clock;
+mod engine;
+mod error;
+mod policy;
+mod solver;
+
+pub use case_studies::{
+    dropout_cycle_time_ns, dropout_slack, qldpc_cycle_time_ns, qldpc_slack, CultivationModel,
+    SlackStats,
+};
+pub use clock::{synchronize_patches, LogicalClock};
+pub use engine::{Controller, PatchId, PatchStatus, SyncEngine, SyncRequestOutcome};
+pub use error::SyncError;
+pub use policy::{plan_sync, SyncPlan, SyncPolicy};
+pub use solver::{solve_extra_rounds, solve_hybrid, HybridSolution};

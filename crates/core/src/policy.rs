@@ -1,0 +1,292 @@
+//! Synchronization policies (paper Section 4).
+
+use crate::solver::{solve_extra_rounds, solve_hybrid};
+use crate::SyncError;
+use std::fmt;
+
+/// A synchronization policy for removing slack before Lattice Surgery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncPolicy {
+    /// The baseline: the leading patch idles for the entire slack
+    /// immediately before the Lattice Surgery operation.
+    Passive,
+    /// The slack is split into equal fragments inserted before each of
+    /// the pre-merge syndrome-generation rounds, slowing the leading
+    /// patch gradually (paper Section 4.1.2).
+    Active,
+    /// The slack is distributed *within* the final round, between its
+    /// gate layers — synchronizes in one round but also decoheres the
+    /// measure qubits mid-extraction (paper Section 4.1.3).
+    ActiveIntra,
+    /// The leading patch runs extra rounds per Eq. (1); requires
+    /// `T_P != T_P'` (paper Section 4.1.4).
+    ExtraRounds,
+    /// Extra rounds per Eq. (2) until the residual slack drops below
+    /// `epsilon_ns`, with the residual distributed Active-style (paper
+    /// Section 4.2).
+    Hybrid {
+        /// Maximum tolerated residual idle (the paper uses 400 ns for
+        /// superconducting evaluations).
+        epsilon_ns: f64,
+        /// Upper bound on extra rounds searched by Eq. (2) (the paper
+        /// uses 5 for superconducting systems and larger bounds for the
+        /// neutral-atom study of Table 5).
+        max_extra_rounds: u32,
+    },
+}
+
+impl SyncPolicy {
+    /// A Hybrid policy with the paper's superconducting defaults:
+    /// tolerance `epsilon_ns` and at most 5 extra rounds.
+    pub fn hybrid(epsilon_ns: f64) -> SyncPolicy {
+        SyncPolicy::Hybrid {
+            epsilon_ns,
+            max_extra_rounds: 5,
+        }
+    }
+}
+
+impl fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncPolicy::Passive => write!(f, "Passive"),
+            SyncPolicy::Active => write!(f, "Active"),
+            SyncPolicy::ActiveIntra => write!(f, "Active-intra"),
+            SyncPolicy::ExtraRounds => write!(f, "Extra Rounds"),
+            SyncPolicy::Hybrid { epsilon_ns, .. } => write!(f, "Hybrid(eps={epsilon_ns}ns)"),
+        }
+    }
+}
+
+/// A concrete synchronization plan for the *leading* patch.
+///
+/// The circuit generator realizes a plan by (a) appending
+/// `extra_rounds` syndrome rounds before the merge, (b) inserting
+/// `pre_round_idle_ns[i]` of idle time before pre-merge round `i`, (c)
+/// spreading `intra_round_idle_ns` across the internal layer boundaries
+/// of the final round, and (d) idling `final_idle_ns` right before the
+/// merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncPlan {
+    /// The policy this plan realizes.
+    pub policy: SyncPolicy,
+    /// Extra syndrome-generation rounds to run before the merge.
+    pub extra_rounds: u32,
+    /// Idle inserted before each pre-merge round (length = pre-merge
+    /// rounds including extras).
+    pub pre_round_idle_ns: Vec<f64>,
+    /// Idle distributed within the final pre-merge round.
+    pub intra_round_idle_ns: f64,
+    /// Idle inserted immediately before the Lattice Surgery operation.
+    pub final_idle_ns: f64,
+}
+
+impl SyncPlan {
+    /// Total idle time the plan inserts (the "Idling period" row of
+    /// paper Table 2).
+    pub fn total_idle_ns(&self) -> f64 {
+        self.pre_round_idle_ns.iter().sum::<f64>() + self.intra_round_idle_ns + self.final_idle_ns
+    }
+
+    /// A no-op plan (already synchronized).
+    pub fn noop(policy: SyncPolicy, rounds: u32) -> SyncPlan {
+        SyncPlan {
+            policy,
+            extra_rounds: 0,
+            pre_round_idle_ns: vec![0.0; rounds as usize],
+            intra_round_idle_ns: 0.0,
+            final_idle_ns: 0.0,
+        }
+    }
+}
+
+/// Plans how the leading patch (cycle time `t_p_ns`, ahead by `tau_ns`)
+/// synchronizes with the lagging patch (cycle time `t_p_prime_ns`)
+/// before a Lattice Surgery operation, given `rounds` pre-merge
+/// syndrome rounds to work with (normally `d + 1`).
+///
+/// # Errors
+///
+/// Propagates solver errors for [`SyncPolicy::ExtraRounds`] and
+/// [`SyncPolicy::Hybrid`]; rejects invalid parameters.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_sync::{plan_sync, SyncPolicy};
+///
+/// let plan = plan_sync(SyncPolicy::Active, 1000.0, 1900.0, 1900.0, 8).unwrap();
+/// assert_eq!(plan.pre_round_idle_ns.len(), 8);
+/// assert!((plan.pre_round_idle_ns[0] - 125.0).abs() < 1e-9);
+/// assert_eq!(plan.final_idle_ns, 0.0);
+/// ```
+pub fn plan_sync(
+    policy: SyncPolicy,
+    tau_ns: f64,
+    t_p_ns: f64,
+    t_p_prime_ns: f64,
+    rounds: u32,
+) -> Result<SyncPlan, SyncError> {
+    if rounds == 0 {
+        return Err(SyncError::InvalidParameter("rounds must be positive"));
+    }
+    if !(tau_ns >= 0.0) {
+        return Err(SyncError::InvalidParameter("slack must be non-negative"));
+    }
+    if !(t_p_ns > 0.0) || !(t_p_prime_ns > 0.0) {
+        return Err(SyncError::InvalidParameter("cycle times must be positive"));
+    }
+    // Slack is a phase difference: bounded by the lagging cycle time
+    // (tau = tau % T_cycle, paper Section 4.1).
+    let tau = tau_ns % t_p_prime_ns;
+    const MAX_EXTRA_ROUNDS: u32 = 100;
+    match policy {
+        SyncPolicy::Passive => Ok(SyncPlan {
+            policy,
+            extra_rounds: 0,
+            pre_round_idle_ns: vec![0.0; rounds as usize],
+            intra_round_idle_ns: 0.0,
+            final_idle_ns: tau,
+        }),
+        SyncPolicy::Active => Ok(SyncPlan {
+            policy,
+            extra_rounds: 0,
+            pre_round_idle_ns: vec![tau / rounds as f64; rounds as usize],
+            intra_round_idle_ns: 0.0,
+            final_idle_ns: 0.0,
+        }),
+        SyncPolicy::ActiveIntra => Ok(SyncPlan {
+            policy,
+            extra_rounds: 0,
+            pre_round_idle_ns: vec![0.0; rounds as usize],
+            intra_round_idle_ns: tau,
+            final_idle_ns: 0.0,
+        }),
+        SyncPolicy::ExtraRounds => {
+            let m = solve_extra_rounds(t_p_ns, t_p_prime_ns, tau, MAX_EXTRA_ROUNDS)?;
+            Ok(SyncPlan {
+                policy,
+                extra_rounds: m,
+                pre_round_idle_ns: vec![0.0; (rounds + m) as usize],
+                intra_round_idle_ns: 0.0,
+                final_idle_ns: 0.0,
+            })
+        }
+        SyncPolicy::Hybrid {
+            epsilon_ns,
+            max_extra_rounds,
+        } => {
+            let sol = solve_hybrid(t_p_ns, t_p_prime_ns, tau, epsilon_ns, max_extra_rounds)?;
+            let total_rounds = rounds + sol.extra_rounds;
+            Ok(SyncPlan {
+                policy,
+                extra_rounds: sol.extra_rounds,
+                pre_round_idle_ns: vec![
+                    sol.residual_ns / total_rounds as f64;
+                    total_rounds as usize
+                ],
+                intra_round_idle_ns: 0.0,
+                final_idle_ns: 0.0,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_puts_everything_at_the_end() {
+        let p = plan_sync(SyncPolicy::Passive, 500.0, 1900.0, 1900.0, 8).unwrap();
+        assert_eq!(p.final_idle_ns, 500.0);
+        assert!(p.pre_round_idle_ns.iter().all(|&x| x == 0.0));
+        assert_eq!(p.total_idle_ns(), 500.0);
+        assert_eq!(p.extra_rounds, 0);
+    }
+
+    #[test]
+    fn active_distributes_evenly() {
+        let p = plan_sync(SyncPolicy::Active, 800.0, 1900.0, 1900.0, 8).unwrap();
+        assert_eq!(p.pre_round_idle_ns.len(), 8);
+        for &x in &p.pre_round_idle_ns {
+            assert!((x - 100.0).abs() < 1e-9);
+        }
+        assert!((p.total_idle_ns() - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_intra_goes_inside_last_round() {
+        let p = plan_sync(SyncPolicy::ActiveIntra, 600.0, 1900.0, 1900.0, 8).unwrap();
+        assert_eq!(p.intra_round_idle_ns, 600.0);
+        assert_eq!(p.final_idle_ns, 0.0);
+    }
+
+    #[test]
+    fn extra_rounds_plan_has_no_idle() {
+        let p = plan_sync(SyncPolicy::ExtraRounds, 1000.0, 1000.0, 1325.0, 8).unwrap();
+        assert_eq!(p.extra_rounds, 52);
+        assert_eq!(p.total_idle_ns(), 0.0);
+        assert_eq!(p.pre_round_idle_ns.len(), 60);
+    }
+
+    #[test]
+    fn hybrid_matches_table_2() {
+        let p = plan_sync(
+            SyncPolicy::hybrid(400.0),
+            1000.0,
+            1000.0,
+            1325.0,
+            8,
+        )
+        .unwrap();
+        assert_eq!(p.extra_rounds, 4);
+        assert!((p.total_idle_ns() - 300.0).abs() < 1e-9);
+        // Residual spread across all 12 rounds.
+        assert_eq!(p.pre_round_idle_ns.len(), 12);
+        assert!((p.pre_round_idle_ns[0] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slack_wraps_modulo_cycle() {
+        // tau larger than the lagging cycle time wraps (phase
+        // difference).
+        let p = plan_sync(SyncPolicy::Passive, 2100.0, 1900.0, 1900.0, 8).unwrap();
+        assert!((p.final_idle_ns - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extra_rounds_rejects_equal_cycles() {
+        assert!(matches!(
+            plan_sync(SyncPolicy::ExtraRounds, 500.0, 1900.0, 1900.0, 8),
+            Err(SyncError::EqualCycleTimes { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_slack_is_noop_for_all_policies() {
+        for pol in [
+            SyncPolicy::Passive,
+            SyncPolicy::Active,
+            SyncPolicy::ActiveIntra,
+        ] {
+            let p = plan_sync(pol, 0.0, 1900.0, 1900.0, 8).unwrap();
+            assert_eq!(p.total_idle_ns(), 0.0);
+            assert_eq!(p.extra_rounds, 0);
+        }
+    }
+
+    #[test]
+    fn invalid_rounds_rejected() {
+        assert!(plan_sync(SyncPolicy::Active, 100.0, 1900.0, 1900.0, 0).is_err());
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(SyncPolicy::Passive.to_string(), "Passive");
+        assert_eq!(
+            SyncPolicy::hybrid(400.0).to_string(),
+            "Hybrid(eps=400ns)"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end logical-error-rate evaluation.
+
+use ftqc_circuit::Circuit;
+use ftqc_sim::{parallel_batches, BinomialEstimate};
+
+/// A syndrome decoder: maps the set of flagged detectors of one shot to
+/// a predicted logical-observable flip mask.
+pub trait Decoder: Sync {
+    /// Predicts the observable flips (bit `i` = observable `i`) for a
+    /// shot whose flagged detectors are `flagged` (sorted ascending).
+    fn predict(&self, flagged: &[u32]) -> u32;
+}
+
+impl<D: Decoder + ?Sized> Decoder for &D {
+    fn predict(&self, flagged: &[u32]) -> u32 {
+        (**self).predict(flagged)
+    }
+}
+
+/// Samples `shots` shots of `circuit`, decodes every shot with
+/// `decoder` and returns one logical-error estimate per observable
+/// (a logical error is a shot where the decoder mispredicts that
+/// observable's flip).
+///
+/// Deterministic for fixed `(seed, batch_shots)` regardless of thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `shots`, `batch_shots` or `threads` is zero.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn evaluate_ler(
+    circuit: &Circuit,
+    decoder: &impl Decoder,
+    shots: u64,
+    batch_shots: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<BinomialEstimate> {
+    let num_obs = circuit.num_observables() as usize;
+    let per_batch = parallel_batches(circuit, shots, batch_shots, seed, threads, |batch| {
+        let mut errors = vec![0u64; num_obs];
+        for s in 0..batch.shots {
+            let flagged = batch.flagged_detectors(s);
+            let predicted = decoder.predict(&flagged);
+            for (o, err) in errors.iter_mut().enumerate() {
+                let actual = batch.observable(o, s);
+                let pred = (predicted >> o) & 1 == 1;
+                if actual != pred {
+                    *err += 1;
+                }
+            }
+        }
+        errors
+    });
+    let mut totals = vec![0u64; num_obs];
+    for batch in per_batch {
+        for (t, e) in totals.iter_mut().zip(batch) {
+            *t += e;
+        }
+    }
+    totals
+        .into_iter()
+        .map(|e| BinomialEstimate::new(e, shots))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DecodingGraph, MwpmDecoder, UfDecoder};
+    use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
+    use ftqc_sim::DetectorErrorModel;
+    use ftqc_surface::MemoryConfig;
+
+    fn memory_circuit(d: u32, p: f64) -> Circuit {
+        let hw = HardwareConfig::ibm();
+        let cfg = MemoryConfig::new(d, d + 1, &hw);
+        CircuitNoiseModel::standard(p, &hw).apply(&cfg.build())
+    }
+
+    #[test]
+    fn decoding_beats_guessing() {
+        let c = memory_circuit(3, 1e-3);
+        let (dem, _) = DetectorErrorModel::from_circuit(&c, true);
+        let uf = UfDecoder::new(DecodingGraph::from_dem(&dem));
+        let ler = evaluate_ler(&c, &uf, 4_000, 512, 3, 2);
+        assert!(ler[0].rate() < 0.1, "UF LER {}", ler[0]);
+    }
+
+    #[test]
+    fn mwpm_at_least_as_good_as_uf_on_d3() {
+        let c = memory_circuit(3, 3e-3);
+        let (dem, _) = DetectorErrorModel::from_circuit(&c, true);
+        let g = DecodingGraph::from_dem(&dem);
+        let uf = UfDecoder::new(g.clone());
+        let mwpm = MwpmDecoder::new(g);
+        let shots = 20_000;
+        let ler_uf = evaluate_ler(&c, &uf, shots, 1024, 9, 2);
+        let ler_mwpm = evaluate_ler(&c, &mwpm, shots, 1024, 9, 2);
+        // Identical shot stream; MWPM should not lose by more than
+        // statistical slack.
+        assert!(
+            ler_mwpm[0].rate() <= ler_uf[0].rate() * 1.25 + 2.0 * ler_uf[0].std_err(),
+            "mwpm {} vs uf {}",
+            ler_mwpm[0],
+            ler_uf[0]
+        );
+    }
+
+    #[test]
+    fn larger_distance_suppresses_errors() {
+        let l3 = {
+            let c = memory_circuit(3, 1e-3);
+            let (dem, _) = DetectorErrorModel::from_circuit(&c, true);
+            let d = MwpmDecoder::new(DecodingGraph::from_dem(&dem));
+            evaluate_ler(&c, &d, 30_000, 1024, 5, 2)[0].rate()
+        };
+        let l5 = {
+            let c = memory_circuit(5, 1e-3);
+            let (dem, _) = DetectorErrorModel::from_circuit(&c, true);
+            let d = MwpmDecoder::new(DecodingGraph::from_dem(&dem));
+            evaluate_ler(&c, &d, 30_000, 1024, 5, 2)[0].rate()
+        };
+        assert!(
+            l5 < l3,
+            "distance 5 ({l5}) must beat distance 3 ({l3}) below threshold"
+        );
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let c = memory_circuit(3, 1e-3);
+        let (dem, _) = DetectorErrorModel::from_circuit(&c, true);
+        let d = UfDecoder::new(DecodingGraph::from_dem(&dem));
+        let a = evaluate_ler(&c, &d, 2_000, 256, 42, 1);
+        let b = evaluate_ler(&c, &d, 2_000, 256, 42, 2);
+        assert_eq!(a[0].successes(), b[0].successes());
+    }
+}

@@ -1,0 +1,314 @@
+//! The matching (decoding) graph.
+
+use ftqc_sim::DetectorErrorModel;
+use std::collections::HashMap;
+
+/// An edge of the decoding graph: an independent error mechanism
+/// connecting two detectors, or one detector and the boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphEdge {
+    /// First detector.
+    pub u: u32,
+    /// Second detector, or `None` for a boundary edge.
+    pub v: Option<u32>,
+    /// Occurrence probability (after merging parallel mechanisms).
+    pub probability: f64,
+    /// Log-likelihood weight `ln((1-p)/p)`, clamped positive.
+    pub weight: f64,
+    /// Logical observables flipped when this edge is in the correction.
+    pub observables: u32,
+}
+
+/// The decoding graph of a detector error model.
+///
+/// Nodes are detectors (`0 .. num_detectors`); a single virtual
+/// boundary node absorbs all single-detector mechanisms. Parallel
+/// mechanisms with identical endpoints and observable mask are merged
+/// ("exactly one occurs"); mechanisms with more than two detectors are
+/// rejected — run DEM extraction with decomposition enabled first.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct DecodingGraph {
+    num_detectors: u32,
+    edges: Vec<GraphEdge>,
+    /// node -> indices into `edges` (boundary edges listed under `u`).
+    adj: Vec<Vec<u32>>,
+    /// Mechanisms that were not graphlike and had to be dropped.
+    dropped: usize,
+}
+
+impl DecodingGraph {
+    /// Builds the graph from a detector error model.
+    ///
+    /// Hyperedge mechanisms (more than 2 detectors) are counted in
+    /// [`DecodingGraph::dropped_mechanisms`] and excluded; with CSS
+    /// decomposition enabled upstream there should be none for
+    /// surface-code circuits.
+    pub fn from_dem(dem: &DetectorErrorModel) -> DecodingGraph {
+        let n = dem.num_detectors() as u32;
+        // Merge parallel mechanisms by (endpoints, observables).
+        let mut merged: HashMap<(u32, Option<u32>, u32), f64> = HashMap::new();
+        let mut dropped = 0usize;
+        for m in dem.mechanisms() {
+            let key = match m.detectors.len() {
+                0 => continue, // pure observable flips are not decodable
+                1 => (m.detectors[0], None, m.observables),
+                2 => (m.detectors[0], Some(m.detectors[1]), m.observables),
+                _ => {
+                    dropped += 1;
+                    continue;
+                }
+            };
+            let p = merged.entry(key).or_insert(0.0);
+            *p = *p * (1.0 - m.probability) + m.probability * (1.0 - *p);
+        }
+        let mut edges: Vec<GraphEdge> = merged
+            .into_iter()
+            .map(|((u, v, observables), probability)| GraphEdge {
+                u,
+                v,
+                probability,
+                weight: weight_of(probability),
+                observables,
+            })
+            .collect();
+        edges.sort_by(|a, b| (a.u, a.v, a.observables).cmp(&(b.u, b.v, b.observables)));
+        let mut adj = vec![Vec::new(); n as usize];
+        for (i, e) in edges.iter().enumerate() {
+            adj[e.u as usize].push(i as u32);
+            if let Some(v) = e.v {
+                adj[v as usize].push(i as u32);
+            }
+        }
+        DecodingGraph {
+            num_detectors: n,
+            edges,
+            adj,
+            dropped,
+        }
+    }
+
+    /// Number of detector nodes.
+    pub fn num_detectors(&self) -> u32 {
+        self.num_detectors
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[GraphEdge] {
+        &self.edges
+    }
+
+    /// Edge indices incident to detector `node`.
+    pub fn incident(&self, node: u32) -> &[u32] {
+        &self.adj[node as usize]
+    }
+
+    /// Mechanisms dropped for not being graphlike.
+    pub fn dropped_mechanisms(&self) -> usize {
+        self.dropped
+    }
+
+    /// Single-source Dijkstra over the graph (boundary modelled as a
+    /// virtual node `num_detectors`). Returns `(dist, obs_mask)` per
+    /// node (`f64::INFINITY` where unreachable); `obs_mask[v]` is the
+    /// XOR of edge observables along the shortest path.
+    pub fn dijkstra(&self, source: u32) -> (Vec<f64>, Vec<u32>) {
+        self.dijkstra_to(source, &[])
+    }
+
+    /// [`DecodingGraph::dijkstra`] with early termination: stops once
+    /// every node in `targets` *and* the boundary have been settled
+    /// (matching only needs defect-to-defect and defect-to-boundary
+    /// distances, which keeps the search local for sparse syndromes).
+    /// An empty target list searches the whole graph.
+    pub fn dijkstra_to(&self, source: u32, targets: &[u32]) -> (Vec<f64>, Vec<u32>) {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Item(f64, u32);
+        impl Eq for Item {}
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on distance.
+                other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let n = self.num_detectors as usize + 1; // + boundary
+        let boundary = self.num_detectors;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut mask = vec![0u32; n];
+        let mut heap = BinaryHeap::new();
+        let mut remaining: usize = targets
+            .iter()
+            .filter(|&&t| t != source)
+            .count()
+            + usize::from(!targets.is_empty()); // + the boundary
+        dist[source as usize] = 0.0;
+        heap.push(Item(0.0, source));
+        while let Some(Item(d, u)) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            if !targets.is_empty() && u != source && (u == boundary || targets.contains(&u)) {
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            if u == boundary {
+                continue; // do not route through the boundary
+            }
+            for &ei in self.incident(u) {
+                let e = &self.edges[ei as usize];
+                let v = match e.v {
+                    None => boundary,
+                    Some(v) if v == u => e.u,
+                    Some(v) => {
+                        if e.u == u {
+                            v
+                        } else {
+                            e.u
+                        }
+                    }
+                };
+                let nd = d + e.weight;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    mask[v as usize] = mask[u as usize] ^ e.observables;
+                    heap.push(Item(nd, v));
+                }
+            }
+        }
+        (dist, mask)
+    }
+}
+
+/// Log-likelihood weight of an edge with flip probability `p`.
+fn weight_of(p: f64) -> f64 {
+    let p = p.clamp(1e-12, 0.5 - 1e-9);
+    ((1.0 - p) / p).ln().max(1e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_circuit::{Circuit, DetectorBasis, MeasRef, Op};
+
+    /// A 3-detector chain with boundary edges at both ends.
+    fn chain_circuit() -> Circuit {
+        // Repetition-code-like: 4 data qubits, 3 parity checks; X error
+        // on data i flips checks {i-1, i}.
+        let mut c = Circuit::new(7);
+        c.push(Op::ResetZ(vec![0, 1, 2, 3, 4, 5, 6]));
+        c.push(Op::PauliChannel {
+            qubits: vec![0, 1, 2, 3],
+            px: 0.01,
+            py: 0.0,
+            pz: 0.0,
+        });
+        for (k, (a, b)) in [(0, 1), (1, 2), (2, 3)].iter().enumerate() {
+            c.push(Op::cx([(*a as u32, (4 + k) as u32)]));
+            c.push(Op::cx([(*b as u32, (4 + k) as u32)]));
+        }
+        c.push(Op::measure_z([4, 5, 6], 0.0));
+        for k in 0..3 {
+            c.push(Op::detector([MeasRef(k)], DetectorBasis::Z));
+        }
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::ObservableInclude {
+            observable: 0,
+            records: vec![MeasRef(3)],
+        });
+        c
+    }
+
+    fn chain_graph() -> DecodingGraph {
+        let (dem, _) = ftqc_sim::DetectorErrorModel::from_circuit(&chain_circuit(), true);
+        DecodingGraph::from_dem(&dem)
+    }
+
+    #[test]
+    fn chain_structure() {
+        let g = chain_graph();
+        assert_eq!(g.num_detectors(), 3);
+        // Edges: boundary-0 (data 0), 0-1 (data 1), 1-2 (data 2),
+        // 2-boundary (data 3).
+        assert_eq!(g.edges().len(), 4);
+        let boundary_edges = g.edges().iter().filter(|e| e.v.is_none()).count();
+        assert_eq!(boundary_edges, 2);
+        assert_eq!(g.dropped_mechanisms(), 0);
+    }
+
+    #[test]
+    fn observable_rides_on_the_right_edge() {
+        let g = chain_graph();
+        // Only the data-0 mechanism (boundary edge of detector 0) flips
+        // the observable.
+        let e = g
+            .edges()
+            .iter()
+            .find(|e| e.u == 0 && e.v.is_none())
+            .expect("boundary edge");
+        assert_eq!(e.observables, 1);
+        for other in g.edges().iter().filter(|e| !(e.u == 0 && e.v.is_none())) {
+            assert_eq!(other.observables, 0);
+        }
+    }
+
+    #[test]
+    fn dijkstra_distances_accumulate() {
+        let g = chain_graph();
+        let (dist, mask) = g.dijkstra(0);
+        let w = g.edges()[0].weight;
+        assert!(dist[0] == 0.0);
+        assert!((dist[1] - w).abs() < 1e-9);
+        assert!((dist[2] - 2.0 * w).abs() < 1e-9);
+        // Boundary is one edge away from detector 0, carrying the
+        // observable.
+        assert!((dist[3] - w).abs() < 1e-9);
+        assert_eq!(mask[3], 1);
+    }
+
+    #[test]
+    fn parallel_mechanisms_merge() {
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::PauliChannel {
+            qubits: vec![0],
+            px: 0.1,
+            py: 0.0,
+            pz: 0.0,
+        });
+        c.push(Op::PauliChannel {
+            qubits: vec![0],
+            px: 0.1,
+            py: 0.0,
+            pz: 0.0,
+        });
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        let (dem, _) = ftqc_sim::DetectorErrorModel::from_circuit(&c, true);
+        let g = DecodingGraph::from_dem(&dem);
+        assert_eq!(g.edges().len(), 1);
+        let expect = 0.1 + 0.1 - 2.0 * 0.1 * 0.1;
+        assert!((g.edges()[0].probability - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_is_monotone_in_probability() {
+        assert!(weight_of(0.001) > weight_of(0.01));
+        assert!(weight_of(0.01) > weight_of(0.1));
+        assert!(weight_of(0.49) > 0.0);
+        assert!(weight_of(0.9) > 0.0, "clamped, never negative");
+    }
+}

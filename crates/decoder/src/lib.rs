@@ -1,0 +1,54 @@
+//! Decoders for surface-code detector error models.
+//!
+//! The decoding stack mirrors the paper's methodology:
+//!
+//! * [`DecodingGraph`] — the matching graph extracted from a
+//!   [`DetectorErrorModel`](ftqc_sim::DetectorErrorModel), with
+//!   log-likelihood edge weights and per-edge logical-observable masks.
+//! * [`UfDecoder`] — a weighted union-find decoder (Delfosse–Nickerson
+//!   style cluster growth + peeling), the fast path used for large
+//!   parameter sweeps.
+//! * [`MwpmDecoder`] — minimum-weight perfect matching on the flagged
+//!   detectors: exact (subset dynamic programming over Dijkstra
+//!   distances) up to a configurable syndrome weight, falling back to
+//!   union-find beyond it. This plays the role of PyMatching in the
+//!   paper's toolchain.
+//! * [`LutDecoder`] — a capacity-limited lookup-table decoder
+//!   (LILLIPUT-style), used for the repetition-code experiment of
+//!   Fig. 1(c) and the hierarchical decoder of Fig. 22.
+//! * [`HierarchicalDecoder`] — LUT front end backed by MWPM with a
+//!   latency model (20 ns hits; miss latencies sampled from measured
+//!   MWPM decode times), reproducing the Fig. 22 speedup study.
+//! * [`evaluate_ler`] — end-to-end logical-error-rate evaluation of a
+//!   noisy circuit under any [`Decoder`].
+//!
+//! # Example
+//!
+//! ```
+//! use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
+//! use ftqc_surface::MemoryConfig;
+//! use ftqc_sim::DetectorErrorModel;
+//! use ftqc_decoder::{evaluate_ler, DecodingGraph, UfDecoder};
+//!
+//! let hw = HardwareConfig::ibm();
+//! let circuit = CircuitNoiseModel::standard(1e-3, &hw)
+//!     .apply(&MemoryConfig::new(3, 4, &hw).build());
+//! let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+//! let decoder = UfDecoder::new(DecodingGraph::from_dem(&dem));
+//! let ler = evaluate_ler(&circuit, &decoder, 2_000, 256, 7, 2);
+//! assert!(ler[0].rate() < 0.2); // far below the 50% random-guess rate
+//! ```
+
+mod evaluate;
+mod graph;
+mod hierarchical;
+mod lut;
+mod mwpm;
+mod union_find;
+
+pub use evaluate::{evaluate_ler, Decoder};
+pub use graph::{DecodingGraph, GraphEdge};
+pub use hierarchical::{HierarchicalDecoder, LatencyModel, TimedDecode};
+pub use lut::LutDecoder;
+pub use mwpm::MwpmDecoder;
+pub use union_find::UfDecoder;

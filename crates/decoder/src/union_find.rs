@@ -1,0 +1,338 @@
+//! Weighted union-find decoding (cluster growth + peeling).
+
+use crate::evaluate::Decoder;
+use crate::graph::DecodingGraph;
+
+/// A weighted union-find decoder (Delfosse–Nickerson).
+///
+/// Odd clusters of flagged detectors grow in unit steps along their
+/// frontier edges (each edge's capacity is its integer-scaled
+/// log-likelihood weight); clusters merge when an edge saturates, and
+/// stop growing once their defect parity is even or they touch the
+/// boundary. A peeling pass over each cluster's spanning forest then
+/// produces the correction, whose edge observable masks XOR into the
+/// logical prediction.
+///
+/// Union-find trades a little accuracy against minimum-weight perfect
+/// matching for near-linear decoding time, which is what makes the
+/// paper-scale parameter sweeps (hundreds of configurations) tractable
+/// on a workstation; the test suite cross-validates it against the
+/// exact matcher on small codes.
+#[derive(Debug, Clone)]
+pub struct UfDecoder {
+    graph: DecodingGraph,
+    /// Integer edge capacities (scaled weights).
+    capacity: Vec<u32>,
+}
+
+/// Scale factor from log-likelihood weight to integer growth units.
+const WEIGHT_SCALE: f64 = 4.0;
+
+impl UfDecoder {
+    /// Wraps a decoding graph.
+    pub fn new(graph: DecodingGraph) -> UfDecoder {
+        let capacity = graph
+            .edges()
+            .iter()
+            .map(|e| ((e.weight * WEIGHT_SCALE).round() as u32).max(1))
+            .collect();
+        UfDecoder { graph, capacity }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DecodingGraph {
+        &self.graph
+    }
+}
+
+struct Dsu {
+    parent: Vec<u32>,
+    /// Root-only: number of defects mod 2.
+    parity: Vec<bool>,
+    /// Root-only: cluster touches the boundary.
+    boundary: Vec<bool>,
+    /// Root-only: member nodes (union by size keeps merges cheap).
+    members: Vec<Vec<u32>>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            parity: vec![false; n],
+            boundary: vec![false; n],
+            members: (0..n as u32).map(|i| vec![i]).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        if self.members[ra as usize].len() < self.members[rb as usize].len() {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        let parity = self.parity[ra as usize] ^ self.parity[rb as usize];
+        self.parity[ra as usize] = parity;
+        self.boundary[ra as usize] |= self.boundary[rb as usize];
+        let moved = std::mem::take(&mut self.members[rb as usize]);
+        self.members[ra as usize].extend(moved);
+        ra
+    }
+}
+
+impl Decoder for UfDecoder {
+    fn predict(&self, flagged: &[u32]) -> u32 {
+        if flagged.is_empty() {
+            return 0;
+        }
+        let n = self.graph.num_detectors() as usize;
+        let edges = self.graph.edges();
+        let mut dsu = Dsu::new(n);
+        let mut defect = vec![false; n];
+        for &f in flagged {
+            defect[f as usize] = true;
+            dsu.parity[f as usize] = true;
+        }
+        let mut grown = vec![0u32; edges.len()];
+        let mut saturated = vec![false; edges.len()];
+        let mut frontier_scratch: Vec<u32> = Vec::new();
+        loop {
+            // Roots of still-odd, boundary-free clusters.
+            let mut roots: Vec<u32> = Vec::with_capacity(flagged.len());
+            for &x in flagged {
+                let r = dsu.find(x);
+                if dsu.parity[r as usize] && !dsu.boundary[r as usize] {
+                    roots.push(r);
+                }
+            }
+            roots.sort_unstable();
+            roots.dedup();
+            if roots.is_empty() {
+                break;
+            }
+            for &root in &roots {
+                // A merge earlier in this pass may have neutralized it.
+                let r = dsu.find(root);
+                if r != root || !dsu.parity[r as usize] || dsu.boundary[r as usize] {
+                    continue;
+                }
+                // Grow every unsaturated edge on the cluster frontier.
+                frontier_scratch.clear();
+                for &node in &dsu.members[root as usize] {
+                    for &ei in self.graph.incident(node) {
+                        if !saturated[ei as usize] {
+                            frontier_scratch.push(ei);
+                        }
+                    }
+                }
+                frontier_scratch.sort_unstable();
+                frontier_scratch.dedup();
+                for &ei in &frontier_scratch {
+                    let e = &edges[ei as usize];
+                    grown[ei as usize] += 1;
+                    if grown[ei as usize] >= self.capacity[ei as usize] {
+                        saturated[ei as usize] = true;
+                        match e.v {
+                            Some(v) => {
+                                dsu.union(e.u, v);
+                            }
+                            None => {
+                                let r = dsu.find(e.u);
+                                dsu.boundary[r as usize] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Peeling: build spanning forests over saturated edges and peel
+        // leaves, flipping defects toward the root (boundary-anchored
+        // when available).
+        peel(&self.graph, &saturated, &mut defect)
+    }
+}
+
+/// Peels the saturated subgraph, returning the observable mask of the
+/// correction.
+fn peel(graph: &DecodingGraph, saturated: &[bool], defect: &mut [bool]) -> u32 {
+    let n = graph.num_detectors() as usize;
+    let edges = graph.edges();
+    let mut visited = vec![false; n];
+    let mut mask = 0u32;
+    let mut order: Vec<u32> = Vec::new();
+    let mut parent_edge = vec![u32::MAX; n];
+    let mut boundary_edge_of_root: Vec<(u32, Option<u32>)> = Vec::new();
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    let mut bfs = |root: u32,
+                   visited: &mut Vec<bool>,
+                   parent_edge: &mut Vec<u32>,
+                   order: &mut Vec<u32>| {
+        visited[root as usize] = true;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &ei in graph.incident(u) {
+                if !saturated[ei as usize] {
+                    continue;
+                }
+                let e = &edges[ei as usize];
+                let Some(v) = e.v else { continue };
+                let w = if e.u == u { v } else { e.u };
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    parent_edge[w as usize] = ei;
+                    queue.push_back(w);
+                }
+            }
+        }
+    };
+    // Boundary-anchored spanning trees first: each root's BFS claims
+    // its whole component before other roots are considered, so
+    // boundary-reachable defects drain to the boundary.
+    for (ei, e) in edges.iter().enumerate() {
+        if saturated[ei] && e.v.is_none() && !visited[e.u as usize] {
+            boundary_edge_of_root.push((e.u, Some(ei as u32)));
+            bfs(e.u, &mut visited, &mut parent_edge, &mut order);
+        }
+    }
+    // Remaining components of the saturated subgraph.
+    for node in 0..n as u32 {
+        if !visited[node as usize] {
+            let in_subgraph = graph
+                .incident(node)
+                .iter()
+                .any(|&ei| saturated[ei as usize]);
+            if in_subgraph || defect[node as usize] {
+                boundary_edge_of_root.push((node, None));
+                bfs(node, &mut visited, &mut parent_edge, &mut order);
+            }
+        }
+    }
+    // Peel in reverse BFS order: each non-root node pushes its defect
+    // to its parent through the tree edge.
+    for &node in order.iter().rev() {
+        let ei = parent_edge[node as usize];
+        if ei == u32::MAX {
+            continue; // root
+        }
+        if defect[node as usize] {
+            let e = &edges[ei as usize];
+            mask ^= e.observables;
+            defect[node as usize] = false;
+            let parent = if e.u == node {
+                e.v.expect("tree edges are internal")
+            } else {
+                e.u
+            };
+            defect[parent as usize] ^= true;
+        }
+    }
+    // Residual defects at roots drain through their boundary edge.
+    for (root, bedge) in boundary_edge_of_root {
+        if defect[root as usize] {
+            if let Some(ei) = bedge {
+                mask ^= edges[ei as usize].observables;
+                defect[root as usize] = false;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_circuit::{Circuit, DetectorBasis, MeasRef, Op};
+    use ftqc_sim::DetectorErrorModel;
+
+    /// Distance-5 repetition-code-like chain with observable on the
+    /// first boundary edge.
+    fn chain_graph(n_checks: u32, p: f64) -> DecodingGraph {
+        let n_data = n_checks + 1;
+        let mut c = Circuit::new(n_data + n_checks);
+        c.push(Op::ResetZ((0..n_data + n_checks).collect()));
+        c.push(Op::PauliChannel {
+            qubits: (0..n_data).collect(),
+            px: p,
+            py: 0.0,
+            pz: 0.0,
+        });
+        for k in 0..n_checks {
+            c.push(Op::cx([(k, n_data + k)]));
+            c.push(Op::cx([(k + 1, n_data + k)]));
+        }
+        c.push(Op::measure_z((n_data..n_data + n_checks).collect::<Vec<_>>(), 0.0));
+        for k in 0..n_checks {
+            c.push(Op::detector([MeasRef(k)], DetectorBasis::Z));
+        }
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::ObservableInclude {
+            observable: 0,
+            records: vec![MeasRef(n_checks)],
+        });
+        let (dem, _) = DetectorErrorModel::from_circuit(&c, true);
+        DecodingGraph::from_dem(&dem)
+    }
+
+    #[test]
+    fn empty_syndrome_predicts_nothing() {
+        let d = UfDecoder::new(chain_graph(4, 0.01));
+        assert_eq!(d.predict(&[]), 0);
+    }
+
+    #[test]
+    fn single_defect_matches_to_nearest_boundary() {
+        let d = UfDecoder::new(chain_graph(4, 0.01));
+        // Defect at detector 0: nearest boundary is the left one, whose
+        // edge carries the observable.
+        assert_eq!(d.predict(&[0]), 1);
+        // Defect at the last detector: right boundary, no observable.
+        assert_eq!(d.predict(&[3]), 0);
+    }
+
+    #[test]
+    fn adjacent_pair_matches_internally() {
+        let d = UfDecoder::new(chain_graph(4, 0.01));
+        // Defects at detectors 1,2: error on data qubit 2 — no logical
+        // flip.
+        assert_eq!(d.predict(&[1, 2]), 0);
+    }
+
+    #[test]
+    fn error_past_the_middle_flips_logical() {
+        // A single data-0 error flips only detector 0 and the
+        // observable; the decoder should predict the flip.
+        let d = UfDecoder::new(chain_graph(6, 0.01));
+        assert_eq!(d.predict(&[0]), 1);
+    }
+
+    #[test]
+    fn peeling_conserves_parity() {
+        // Any syndrome must produce *some* valid correction without
+        // panicking; randomized smoke test.
+        use rand::{Rng, SeedableRng};
+        let d = UfDecoder::new(chain_graph(8, 0.01));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let flagged: Vec<u32> = (0..8).filter(|_| rng.gen_bool(0.3)).collect();
+            let _ = d.predict(&flagged);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! QRE-style logical resource estimation.
+
+use crate::workloads::Workload;
+
+/// Logical resource estimate for a workload (the quantities the paper
+/// obtains from the Azure Quantum Resource Estimator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalEstimate {
+    /// Chosen surface-code distance.
+    pub code_distance: u32,
+    /// Logical qubits including routing overhead (QRE fast-block
+    /// layout: `2 Q + sqrt(8 Q) + 1`).
+    pub logical_qubits: u64,
+    /// Total error-correction cycles to run the program.
+    pub logical_cycles: u64,
+    /// Magic states consumed (T count).
+    pub magic_states: u64,
+    /// Active T factories (bounded by workload parallelism).
+    pub factories: u32,
+    /// Lower bound on synchronized Lattice Surgery operations per
+    /// error-correction cycle (paper Fig. 3c): magic states divided by
+    /// logical cycles.
+    pub syncs_per_cycle: f64,
+    /// Physical qubit estimate (compute tiles + factories).
+    pub physical_qubits: u64,
+}
+
+impl LogicalEstimate {
+    /// Estimates logical resources for `workload` at physical error
+    /// rate `p` and total error budget `budget`.
+    ///
+    /// Model (documented in DESIGN.md): the logical depth after
+    /// Clifford+T decomposition is `depth + t_count / factories`
+    /// cycles, where each consumed T state costs one Lattice Surgery
+    /// round and factories are capped by the workload's concurrent
+    /// parallelism (at most 12, the upper range of Fig. 3c); the code
+    /// distance satisfies `a (p / p_th)^((d+1)/2) <= budget / (Q * C)`
+    /// with `a = 0.03`, `p_th = 0.01`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < p_th` and `0 < budget < 1`.
+    pub fn for_workload(workload: &Workload, p: f64, budget: f64) -> LogicalEstimate {
+        assert!(p > 0.0 && p < 0.01, "physical error rate must be below threshold");
+        assert!(budget > 0.0 && budget < 1.0, "budget must be a probability");
+        let a = &workload.analysis;
+        let q = a.num_qubits as u64;
+        let logical_qubits = 2 * q + (8.0 * q as f64).sqrt().ceil() as u64 + 1;
+        let magic_states = a.t_count;
+        // T-consumption parallelism: how many magic states the
+        // workload can absorb per cycle, bounded by its concurrent
+        // CNOT width and by 12.
+        let width = a.max_concurrent_cnots.max(1);
+        let factories = ((magic_states / a.depth.max(1)).max(1))
+            .min(width)
+            .min(12) as u32;
+        let logical_cycles = a.depth.max(1) + magic_states / factories as u64;
+        let syncs_per_cycle = magic_states as f64 / logical_cycles as f64;
+        // Code distance from the error budget.
+        let volume = (logical_qubits * logical_cycles) as f64;
+        let per_op_budget = (budget / volume).min(0.1);
+        let (a_coeff, p_th) = (0.03f64, 0.01f64);
+        let mut d = 3u32;
+        while a_coeff * (p / p_th).powf((d as f64 + 1.0) / 2.0) > per_op_budget && d < 51 {
+            d += 2;
+        }
+        let physical_qubits =
+            logical_qubits * 2 * (d as u64).pow(2) + factories as u64 * 20 * (d as u64).pow(2);
+        LogicalEstimate {
+            code_distance: d,
+            logical_qubits,
+            logical_cycles,
+            magic_states,
+            factories,
+            syncs_per_cycle,
+            physical_qubits,
+        }
+    }
+}
+
+/// The Fig. 16 model: the final program logical error rate under a
+/// synchronization policy, relative to an ideal system that never needs
+/// synchronization.
+///
+/// Error accumulates linearly (the paper's footnote 4 assumption
+/// `(1 - e)^n ~ 1 - n e`): the program fails with probability
+/// `cycles * qubits * e_round + syncs * e_sync`, where `e_round` is the
+/// per-logical-qubit-round error of an ideal system and `e_sync` the
+/// per-synchronization Lattice Surgery error of the policy. The
+/// returned factor is that probability divided by the ideal one
+/// (`e_sync = e_sync_ideal`).
+///
+/// # Panics
+///
+/// Panics if any rate is negative or the ideal program error is zero.
+pub fn program_ler_increase(
+    estimate: &LogicalEstimate,
+    e_round_ideal: f64,
+    e_sync_ideal: f64,
+    e_sync_policy: f64,
+) -> f64 {
+    assert!(
+        e_round_ideal >= 0.0 && e_sync_ideal >= 0.0 && e_sync_policy >= 0.0,
+        "error rates must be non-negative"
+    );
+    let base = estimate.logical_cycles as f64 * estimate.logical_qubits as f64 * e_round_ideal;
+    let ideal = base + estimate.magic_states as f64 * e_sync_ideal;
+    assert!(ideal > 0.0, "ideal program error must be positive");
+    let policy = base + estimate.magic_states as f64 * e_sync_policy;
+    policy / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn syncs_per_cycle_in_figure_range() {
+        for w in workloads::catalog() {
+            let e = LogicalEstimate::for_workload(&w, 1e-3, 1e-2);
+            assert!(
+                (0.5..=12.0).contains(&e.syncs_per_cycle),
+                "{}: {}",
+                w.name,
+                e.syncs_per_cycle
+            );
+        }
+    }
+
+    #[test]
+    fn shor_needs_the_most_cycles() {
+        let ests: Vec<(String, u64)> = workloads::catalog()
+            .iter()
+            .map(|w| {
+                (
+                    w.name.clone(),
+                    LogicalEstimate::for_workload(w, 1e-3, 1e-2).logical_cycles,
+                )
+            })
+            .collect();
+        let shor = ests.iter().find(|(n, _)| n == "shor-15").unwrap().1;
+        let ising = ests.iter().find(|(n, _)| n == "ising-98").unwrap().1;
+        assert!(shor > 3 * ising, "shor {shor} vs ising {ising}");
+    }
+
+    #[test]
+    fn distance_grows_with_tighter_budget() {
+        let w = workloads::qft(20);
+        let loose = LogicalEstimate::for_workload(&w, 1e-3, 0.5);
+        let tight = LogicalEstimate::for_workload(&w, 1e-3, 1e-3);
+        assert!(tight.code_distance > loose.code_distance);
+    }
+
+    #[test]
+    fn ler_increase_is_one_for_ideal_policy() {
+        let w = workloads::ising(98);
+        let e = LogicalEstimate::for_workload(&w, 1e-3, 1e-2);
+        let f = program_ler_increase(&e, 1e-9, 1e-6, 1e-6);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ler_increase_grows_with_sync_error() {
+        let w = workloads::qft(80);
+        let e = LogicalEstimate::for_workload(&w, 1e-3, 1e-2);
+        let passive = program_ler_increase(&e, 1e-9, 1e-6, 5e-6);
+        let active = program_ler_increase(&e, 1e-9, 1e-6, 2e-6);
+        assert!(passive > active);
+        assert!(active > 1.0);
+    }
+}

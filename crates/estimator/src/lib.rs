@@ -1,0 +1,38 @@
+//! Logical resource estimation and FTQC workload catalog.
+//!
+//! This crate substitutes for the Azure Quantum Resource Estimator and
+//! MQTBench in the paper's methodology (see DESIGN.md,
+//! "Substitutions"):
+//!
+//! * [`workloads`] generates the six benchmark circuits of the paper
+//!   (qft-80, qpe-80, wstate-118, ising-98, multiplier-75, shor-15) as
+//!   OpenQASM 2 programs, parsed and analyzed by `ftqc-qasm`.
+//! * [`LogicalEstimate`] computes QRE-style logical resources: code
+//!   distance from the error budget, logical qubit count, logical
+//!   cycles, magic-state count, and the *synchronizations per logical
+//!   cycle* lower bound of paper Fig. 3(c) (magic states consumed per
+//!   error-correction cycle, each requiring at least one synchronized
+//!   Lattice Surgery operation).
+//! * [`program_ler_increase`] implements the Fig. 16 model: the final
+//!   program logical error rate under a synchronization policy relative
+//!   to an ideal system that never needs synchronization, with error
+//!   accumulating linearly in the number of operations (the paper's
+//!   conservative assumption).
+//!
+//! # Example
+//!
+//! ```
+//! use ftqc_estimator::{workloads, LogicalEstimate};
+//!
+//! let wl = workloads::catalog();
+//! let qft = wl.iter().find(|w| w.name == "qft-80").unwrap();
+//! let est = LogicalEstimate::for_workload(qft, 1e-3, 1e-2);
+//! assert!(est.syncs_per_cycle >= 1.0 && est.syncs_per_cycle <= 12.0);
+//! assert!(est.code_distance >= 9);
+//! ```
+
+mod estimate;
+pub mod workloads;
+
+pub use estimate::{program_ler_increase, LogicalEstimate};
+pub use workloads::Workload;

@@ -1,0 +1,242 @@
+//! Generators for the paper's six MQTBench-derived workloads.
+
+use ftqc_qasm::{Analysis, Program};
+use std::fmt::Write as _;
+
+/// A named benchmark workload with its generated QASM source and
+/// gate-level analysis.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// MQTBench-style name, e.g. `qft-80`.
+    pub name: String,
+    /// Generated OpenQASM 2 source.
+    pub qasm: String,
+    /// Gate-level analysis (rotation synthesis accuracy 1e-10, as a
+    /// QRE-like default).
+    pub analysis: Analysis,
+}
+
+fn build(name: impl Into<String>, qasm: String) -> Workload {
+    let program = Program::parse(&qasm).expect("generated QASM must parse");
+    let analysis = program.analyze(1e-10);
+    Workload {
+        name: name.into(),
+        qasm,
+        analysis,
+    }
+}
+
+/// The quantum Fourier transform on `n` qubits (full cp ladder).
+pub fn qft(n: u32) -> Workload {
+    let mut s = header(n);
+    for i in 0..n {
+        let _ = writeln!(s, "h q[{i}];");
+        for j in i + 1..n {
+            let k = j - i;
+            let _ = writeln!(s, "cp(pi/{}) q[{j}], q[{i}];", 1u64 << k.min(30));
+        }
+    }
+    build(format!("qft-{n}"), s)
+}
+
+/// Quantum phase estimation with `n - 1` counting qubits over a
+/// single-qubit phase oracle.
+pub fn qpe(n: u32) -> Workload {
+    assert!(n >= 2, "qpe needs at least two qubits");
+    let counting = n - 1;
+    let mut s = header(n);
+    let _ = writeln!(s, "x q[{}];", n - 1);
+    for i in 0..counting {
+        let _ = writeln!(s, "h q[{i}];");
+    }
+    // Controlled powers of the oracle.
+    for i in 0..counting {
+        let reps = 1u64 << i.min(12);
+        for _ in 0..reps.min(64) {
+            let _ = writeln!(s, "cp(pi/7) q[{i}], q[{}];", n - 1);
+        }
+    }
+    // Inverse QFT on the counting register.
+    for i in (0..counting).rev() {
+        for j in (i + 1..counting).rev() {
+            let k = j - i;
+            let _ = writeln!(s, "cp(-pi/{}) q[{j}], q[{i}];", 1u64 << k.min(30));
+        }
+        let _ = writeln!(s, "h q[{i}];");
+    }
+    build(format!("qpe-{n}"), s)
+}
+
+/// The `n`-qubit W state preparation circuit (ry cascade + CNOTs).
+pub fn wstate(n: u32) -> Workload {
+    let mut s = header(n);
+    let _ = writeln!(s, "x q[{}];", n - 1);
+    for i in (0..n - 1).rev() {
+        // Angle arccos(sqrt(1/(i+2))) expressed numerically.
+        let theta = (1.0 / f64::from(i + 2)).sqrt().acos();
+        let _ = writeln!(s, "ry({theta:.12}) q[{i}];");
+        let _ = writeln!(s, "cx q[{i}], q[{}];", i + 1);
+        let _ = writeln!(s, "ry(-{theta:.12}) q[{i}];");
+        let _ = writeln!(s, "cx q[{}], q[{i}];", i + 1);
+    }
+    build(format!("wstate-{n}"), s)
+}
+
+/// One Trotter step of a transverse-field Ising chain on `n` qubits.
+pub fn ising(n: u32) -> Workload {
+    let mut s = header(n);
+    for layer in 0..2 {
+        for i in 0..n {
+            let _ = writeln!(s, "rx(0.31) q[{i}];");
+        }
+        let start = layer % 2;
+        let mut i = start;
+        while i + 1 < n {
+            let _ = writeln!(s, "rzz(0.47) q[{i}], q[{}];", i + 1);
+            i += 2;
+        }
+    }
+    build(format!("ising-{n}"), s)
+}
+
+/// A ripple-carry array multiplier on `n` qubits (two `n/4`-bit inputs,
+/// Toffoli-heavy, matching the MQTBench `multiplier` family shape).
+pub fn multiplier(n: u32) -> Workload {
+    assert!(n >= 8, "multiplier needs at least 8 qubits");
+    let bits = n / 4;
+    let mut s = header(n);
+    // Registers: a = [0, bits), b = [bits, 2 bits), product + per-row
+    // carry ancillas above. Rows of partial products are independent,
+    // so the Toffoli work parallelizes across rows (classic array
+    // multiplier structure).
+    for i in 0..bits {
+        for j in 0..bits {
+            let a = i;
+            let b = bits + j;
+            let p = 2 * bits + ((i + j) % (n - 2 * bits - bits)).min(n - bits - 1);
+            let c = n - bits + (i % bits).min(n - 2 * bits - 1) % bits;
+            let c = (c).min(n - 1);
+            let _ = writeln!(s, "ccx q[{a}], q[{b}], q[{p}];");
+            let _ = writeln!(s, "cx q[{p}], q[{c}];");
+            let _ = writeln!(s, "ccx q[{a}], q[{b}], q[{c}];");
+        }
+    }
+    build(format!("multiplier-{n}"), s)
+}
+
+/// Shor's algorithm factoring 15 (compiled QPE over the `7^x mod 15`
+/// modular multiplier; 4 work qubits + 8 counting qubits + ancillas).
+pub fn shor15() -> Workload {
+    let n = 18u32;
+    let counting = 8u32;
+    let work0 = counting; // 4 work qubits
+    let anc0 = counting + 4; // 6 ancillas
+    let mut s = header(n);
+    let _ = writeln!(s, "x q[{work0}];");
+    for i in 0..counting {
+        let _ = writeln!(s, "h q[{i}];");
+    }
+    // Controlled modular multiplications: each power stage is a block
+    // of controlled swaps and Toffoli adders.
+    for i in 0..counting {
+        let reps = 1u32 << i.min(6);
+        for r in 0..reps {
+            for k in 0..4u32 {
+                let w = work0 + k;
+                let a = anc0 + (k + r) % 6;
+                let _ = writeln!(s, "ccx q[{i}], q[{w}], q[{a}];");
+                let _ = writeln!(s, "cx q[{a}], q[{w}];");
+                let _ = writeln!(s, "ccx q[{i}], q[{a}], q[{w}];");
+            }
+        }
+    }
+    // Inverse QFT on the counting register.
+    for i in (0..counting).rev() {
+        for j in (i + 1..counting).rev() {
+            let k = j - i;
+            let _ = writeln!(s, "cp(-pi/{}) q[{j}], q[{i}];", 1u64 << k);
+        }
+        let _ = writeln!(s, "h q[{i}];");
+    }
+    build("shor-15", s)
+}
+
+/// The paper's six benchmarks at their Fig. 3(c) sizes.
+pub fn catalog() -> Vec<Workload> {
+    vec![
+        multiplier(75),
+        wstate(118),
+        shor15(),
+        qpe(80),
+        qft(80),
+        ising(98),
+    ]
+}
+
+fn header(n: u32) -> String {
+    format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{n}];\ncreg c[{n}];\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_six_named_workloads() {
+        let names: Vec<String> = catalog().into_iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "multiplier-75",
+                "wstate-118",
+                "shor-15",
+                "qpe-80",
+                "qft-80",
+                "ising-98"
+            ]
+        );
+    }
+
+    #[test]
+    fn qft_scales_quadratically() {
+        let small = qft(10).analysis;
+        let large = qft(20).analysis;
+        assert!(large.cnot_count > 3 * small.cnot_count);
+        assert_eq!(large.num_qubits, 20);
+    }
+
+    #[test]
+    fn wstate_is_rotation_dominated() {
+        let a = wstate(16).analysis;
+        assert!(a.rotation_count > 0);
+        assert!(a.t_count > a.cnot_count);
+    }
+
+    #[test]
+    fn ising_is_shallow() {
+        let a = ising(98).analysis;
+        assert!(a.depth < 20, "ising depth {}", a.depth);
+        assert!(a.max_concurrent_cnots >= 40);
+    }
+
+    #[test]
+    fn multiplier_is_toffoli_heavy() {
+        let a = multiplier(75).analysis;
+        assert!(a.t_count >= 7 * 18 * 18, "t count {}", a.t_count);
+    }
+
+    #[test]
+    fn shor_is_the_deepest() {
+        let shor = shor15().analysis;
+        for w in catalog() {
+            if w.name != "shor-15" {
+                assert!(
+                    shor.depth > w.analysis.depth / 4,
+                    "shor should be deep vs {}",
+                    w.name
+                );
+            }
+        }
+        assert!(shor.t_count > 5_000);
+    }
+}

@@ -1,0 +1,98 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <experiment>... [--full] [--shots N] [--threads N] [--out DIR]
+//! repro all [--full]
+//! ```
+//!
+//! Experiments: fig1c fig1d fig3c fig4a fig4b fig6 fig7 fig10 fig11
+//! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 table1 table2
+//! (fig19 includes table4; fig21 includes table5). Markdown goes to
+//! stdout; CSVs to `--out` (default `results/`).
+
+use ftqc_experiments as exp;
+use ftqc_experiments::{Config, Table};
+use std::path::PathBuf;
+
+const ALL: &[&str] = &[
+    "fig1c", "fig1d", "fig3c", "fig4a", "fig4b", "fig6", "fig7", "fig10", "fig11", "fig14",
+    "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "table1", "table2",
+];
+
+fn run_one(name: &str, config: &Config) -> Option<Vec<Table>> {
+    let tables = match name {
+        "fig1c" => exp::fig01c::run(config),
+        "fig1d" => exp::fig1d::run(config),
+        "fig3c" => exp::fig03c::run(config),
+        "fig4a" => exp::fig04a::run(config),
+        "fig4b" => exp::fig04b::run(config),
+        "fig6" => exp::fig06::run(config),
+        "fig7" => exp::fig07::run(config),
+        "fig10" => exp::fig10::run(config),
+        "fig11" => exp::fig11::run(config),
+        "fig14" => exp::fig14::run(config),
+        "fig15" => exp::fig15::run(config),
+        "fig16" => exp::fig16::run(config),
+        "fig17" => exp::fig17::run(config),
+        "fig18" => exp::fig18::run(config),
+        "fig19" | "table4" => exp::fig19_table4::run(config),
+        "fig20" => exp::fig20::run(config),
+        "fig21" | "table5" => exp::fig21_table5::run(config),
+        "fig22" => exp::fig22::run(config),
+        "table1" => exp::table1::run(config),
+        "table2" => exp::table2::run(config),
+        _ => return None,
+    };
+    Some(tables)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = Config::quick();
+    let mut out_dir = PathBuf::from("results");
+    let mut experiments: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => config = Config::full(),
+            "--shots" => {
+                i += 1;
+                config.shots = args[i].parse().expect("--shots takes a number");
+            }
+            "--threads" => {
+                i += 1;
+                config.threads = args[i].parse().expect("--threads takes a number");
+            }
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(&args[i]);
+            }
+            "all" => experiments.extend(ALL.iter().map(|s| s.to_string())),
+            name => experiments.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        eprintln!("usage: repro <experiment>... [--full] [--shots N] [--threads N] [--out DIR]");
+        eprintln!("experiments: {} all", ALL.join(" "));
+        std::process::exit(2);
+    }
+    for name in &experiments {
+        let started = std::time::Instant::now();
+        match run_one(name, &config) {
+            Some(tables) => {
+                for table in &tables {
+                    println!("{}", table.to_markdown());
+                    if let Err(e) = table.save_csv(&out_dir) {
+                        eprintln!("warning: could not save {}: {e}", table.name);
+                    }
+                }
+                eprintln!("[{name}] done in {:.1}s", started.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment `{name}`; known: {}", ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Decoder-centric experiments: Figs. 1(c), 7 and 22.
+
+use crate::runner::LsSetup;
+use crate::{Config, Table};
+use ftqc_decoder::{
+    evaluate_ler, DecodingGraph, Decoder, HierarchicalDecoder, LatencyModel, LutDecoder,
+    MwpmDecoder,
+};
+use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
+use ftqc_sim::{sample_batch, DetectorErrorModel};
+use ftqc_surface::{LatticeSurgeryConfig, RepetitionConfig};
+use ftqc_sync::SyncPolicy;
+
+/// Paper Fig. 1(c): repetition-code LER vs idle period before the final
+/// syndrome round, with a LUT decoder (Sherbrooke-like coherence:
+/// `T1 = 330.77 us`, `T2 = 72.68 us`).
+pub mod fig01c {
+    use super::*;
+
+    fn sherbrooke() -> HardwareConfig {
+        HardwareConfig {
+            name: "Sherbrooke",
+            t1_ns: 330_770.0,
+            t2_ns: 72_680.0,
+            ..HardwareConfig::ibm()
+        }
+    }
+
+    /// Regenerates the LER-vs-idle sweep for both logical states.
+    pub fn run(config: &Config) -> Vec<Table> {
+        let hw = sherbrooke();
+        let model = CircuitNoiseModel::standard(2e-3, &hw);
+        let mut t = Table::new(
+            "fig01c_repetition_idling",
+            "Three-qubit repetition code LER vs idle period (LUT decoder)",
+            ["idle (ns)", "LER |0>_L", "LER |1>_L", "raw flip rate"],
+        );
+        for idle in (0..=800).step_by(100) {
+            let mut lers = Vec::new();
+            let mut raw = 0.0;
+            for logical_one in [false, true] {
+                let mut cfg = RepetitionConfig::new(&hw, idle as f64);
+                cfg.logical_one = logical_one;
+                let circuit = model.apply(&cfg.build());
+                let lut = LutDecoder::train(&circuit, 20_000, config.seed, 3 * 1024);
+                let ler = evaluate_ler(
+                    &circuit,
+                    &lut,
+                    config.shots,
+                    1024,
+                    config.seed + idle as u64,
+                    config.threads,
+                );
+                lers.push(ler[0].rate());
+                if !logical_one {
+                    // Undecoded physical flip rate of the logical readout
+                    // qubit: shows the idling damage directly, without the
+                    // code's (strong, 3-qubit) correction masking it.
+                    let batch = sample_batch(&circuit, 50_000, config.seed + 3);
+                    raw = (0..batch.shots).filter(|&s| batch.observable(0, s)).count() as f64
+                        / batch.shots as f64;
+                }
+            }
+            t.push_row([
+                idle.to_string(),
+                format!("{:.4}", lers[0]),
+                format!("{:.4}", lers[1]),
+                format!("{:.4}", raw),
+            ]);
+        }
+        vec![t]
+    }
+}
+
+/// Paper Fig. 7: syndrome Hamming weight analysis — heavier syndromes
+/// are likelier to fail (a), and Passive synchronization spikes the
+/// weight in the Lattice Surgery round (b).
+pub mod fig07 {
+    use super::*;
+
+    /// Regenerates both panels at the configured focus distance.
+    pub fn run(config: &Config) -> Vec<Table> {
+        let hw = HardwareConfig::ibm();
+        let d = config.focus_distance;
+        // Panel (a): LER vs Hamming weight bucket under Passive.
+        let setup = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, 500.0);
+        let mut cfg = LatticeSurgeryConfig::new(d, &hw);
+        cfg.plan = setup.plan();
+        let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&cfg.build());
+        let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+        let decoder = ftqc_decoder::UfDecoder::new(DecodingGraph::from_dem(&dem));
+        let shots = (config.shots as usize).min(60_000);
+        let batch = sample_batch(&circuit, shots, config.seed);
+        let mut bucket_err = std::collections::BTreeMap::<usize, (u64, u64)>::new();
+        for s in 0..batch.shots {
+            let flagged = batch.flagged_detectors(s);
+            let weight_bucket = (flagged.len() / 5) * 5;
+            let predicted = decoder.predict(&flagged);
+            let wrong = ((predicted >> 2) & 1 == 1) != batch.observable(2, s);
+            let e = bucket_err.entry(weight_bucket).or_insert((0, 0));
+            e.1 += 1;
+            if wrong {
+                e.0 += 1;
+            }
+        }
+        let mut a = Table::new(
+            "fig07a_ler_vs_weight",
+            format!("LER vs syndrome Hamming weight (d = {d}, Passive, tau = 500 ns)"),
+            ["weight bucket", "shots", "LER"],
+        );
+        for (bucket, (err, n)) in &bucket_err {
+            if *n >= 20 {
+                a.push_row([
+                    format!("{}-{}", bucket, bucket + 4),
+                    n.to_string(),
+                    format!("{:.3e}", *err as f64 / *n as f64),
+                ]);
+            }
+        }
+        // Panel (b): mean weight per round, Passive vs Active.
+        let mut b = Table::new(
+            "fig07b_weight_per_round",
+            format!("Mean syndrome weight per round (d = {d}, tau = 500 ns)"),
+            ["round", "Passive", "Active"],
+        );
+        let mut per_round = Vec::new();
+        for policy in [SyncPolicy::Passive, SyncPolicy::Active] {
+            let setup = LsSetup::homogeneous(d, &hw, policy, 500.0);
+            let mut cfg = LatticeSurgeryConfig::new(d, &hw);
+            cfg.plan = setup.plan();
+            let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&cfg.build());
+            let meta = circuit.detector_metadata();
+            let rounds = meta
+                .iter()
+                .map(|(_, c)| c[2] as usize)
+                .max()
+                .unwrap_or(0)
+                + 1;
+            let batch = sample_batch(&circuit, shots, config.seed + 5);
+            let mut counts = vec![0u64; rounds];
+            for (det, (_, coords)) in meta.iter().enumerate() {
+                counts[coords[2] as usize] += batch.count_detector_flips(det);
+            }
+            per_round.push(
+                counts
+                    .iter()
+                    .map(|&c| c as f64 / shots as f64)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let rounds = per_round[0].len().max(per_round[1].len());
+        for r in 0..rounds {
+            b.push_row([
+                r.to_string(),
+                format!("{:.3}", per_round[0].get(r).copied().unwrap_or(0.0)),
+                format!("{:.3}", per_round[1].get(r).copied().unwrap_or(0.0)),
+            ]);
+        }
+        vec![a, b]
+    }
+}
+
+/// Paper Fig. 22: hierarchical LUT+MWPM decoding — Active
+/// synchronization raises the LUT hit rate and speeds up decoding.
+pub mod fig22 {
+    use super::*;
+    use std::time::Instant;
+
+    /// LUT capacities per distance (paper: 3 KB / 3 MB / 30 MB).
+    fn capacity(d: u32) -> usize {
+        match d {
+            3 => 3 * 1024,
+            5 => 3 * 1024 * 1024,
+            _ => 30 * 1024 * 1024,
+        }
+    }
+
+    /// Regenerates hit rates, mean latencies and the speedup.
+    pub fn run(config: &Config) -> Vec<Table> {
+        let hw = HardwareConfig::ibm();
+        let mut t = Table::new(
+            "fig22_hierarchical_decoding",
+            "Hierarchical decoder: LUT hit rate and decode latency",
+            [
+                "d",
+                "hit rate Passive",
+                "hit rate Active",
+                "mean latency Passive (ns)",
+                "mean latency Active (ns)",
+                "speedup",
+            ],
+        );
+        let distances: Vec<u32> = config.distances.iter().copied().filter(|&d| d <= 7).collect();
+        for d in distances {
+            let mut hit_rates = Vec::new();
+            let mut latencies = Vec::new();
+            for policy in [SyncPolicy::Passive, SyncPolicy::Active] {
+                let setup = LsSetup::homogeneous(d, &hw, policy, 500.0);
+                let mut cfg = LatticeSurgeryConfig::new(d, &hw);
+                cfg.plan = setup.plan();
+                let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&cfg.build());
+                let train_shots = (config.shots as usize).max(20_000);
+                let lut = LutDecoder::train(&circuit, train_shots, config.seed, capacity(d));
+                let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+                let mwpm = MwpmDecoder::new(DecodingGraph::from_dem(&dem));
+                // Measure real MWPM latencies on sampled syndromes.
+                let probe = sample_batch(&circuit, 256, config.seed + 1);
+                let mut samples = Vec::new();
+                for s in 0..probe.shots {
+                    let flagged = probe.flagged_detectors(s);
+                    if flagged.is_empty() {
+                        continue;
+                    }
+                    let start = Instant::now();
+                    std::hint::black_box(mwpm.predict(&flagged));
+                    samples.push(start.elapsed().as_nanos() as f64);
+                    if samples.len() >= 100 {
+                        break;
+                    }
+                }
+                if samples.is_empty() {
+                    samples.push(1_000.0);
+                }
+                let h = HierarchicalDecoder::new(lut, mwpm, LatencyModel::new(samples), 11);
+                let eval = sample_batch(&circuit, (config.shots as usize).min(20_000), config.seed + 2);
+                let mut total_latency = 0.0;
+                for s in 0..eval.shots {
+                    let flagged = eval.flagged_detectors(s);
+                    total_latency += h.decode_timed(&flagged).latency_ns;
+                }
+                hit_rates.push(h.hit_rate());
+                latencies.push(total_latency / eval.shots as f64);
+            }
+            t.push_row([
+                d.to_string(),
+                format!("{:.3}", hit_rates[0]),
+                format!("{:.3}", hit_rates[1]),
+                format!("{:.0}", latencies[0]),
+                format!("{:.0}", latencies[1]),
+                format!("{:.3}", latencies[0] / latencies[1]),
+            ]);
+        }
+        vec![t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            shots: 2_000,
+            distances: vec![3],
+            focus_distance: 3,
+            threads: 2,
+            seed: 13,
+        }
+    }
+
+    #[test]
+    fn fig01c_ler_grows_with_idle() {
+        let t = &fig01c::run(&tiny())[0];
+        let first: f64 = t.rows.first().unwrap()[1].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(last > first, "idling must raise the LER: {first} vs {last}");
+    }
+
+    #[test]
+    fn fig07_produces_weight_tables() {
+        let tables = fig07::run(&tiny());
+        assert_eq!(tables.len(), 2);
+        assert!(!tables[1].rows.is_empty());
+    }
+
+    #[test]
+    fn fig22_hit_rates_are_probabilities() {
+        let t = &fig22::run(&tiny())[0];
+        for row in &t.rows {
+            let hp: f64 = row[1].parse().unwrap();
+            let ha: f64 = row[2].parse().unwrap();
+            assert!((0.0..=1.0).contains(&hp) && (0.0..=1.0).contains(&ha));
+        }
+    }
+}

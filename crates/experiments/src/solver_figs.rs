@@ -1,0 +1,118 @@
+//! Solver-only reproductions: Figs. 10 and 11.
+
+use crate::{Config, Table};
+use ftqc_sync::{solve_extra_rounds, solve_hybrid};
+
+/// Paper Fig. 10: extra rounds needed to synchronize by running
+/// additional rounds alone, for the eight `(T_P', tau)` configurations
+/// (`T_P = 1000 ns`), including the impossible one.
+pub mod fig10 {
+    use super::*;
+
+    /// Regenerates the figure's bar values.
+    pub fn run(_config: &Config) -> Vec<Table> {
+        let mut t = Table::new(
+            "fig10_extra_rounds",
+            "Extra rounds for pure Extra-Rounds synchronization (T_P = 1000 ns)",
+            ["T_P' (ns)", "tau (ns)", "extra rounds", "paper"],
+        );
+        let paper = [
+            "Not possible",
+            "5",
+            "11",
+            "22",
+            "26",
+            "52",
+            "34",
+            "68",
+        ];
+        let configs = [
+            (1200.0, 500.0),
+            (1200.0, 1000.0),
+            (1150.0, 500.0),
+            (1150.0, 1000.0),
+            (1325.0, 500.0),
+            (1325.0, 1000.0),
+            (1725.0, 500.0),
+            (1725.0, 1000.0),
+        ];
+        for ((tp_prime, tau), paper_val) in configs.into_iter().zip(paper) {
+            let ours = match solve_extra_rounds(1000.0, tp_prime, tau, 100) {
+                Ok(m) => m.to_string(),
+                Err(_) => "Not possible".to_string(),
+            };
+            t.push_row([
+                format!("{tp_prime}"),
+                format!("{tau}"),
+                ours,
+                paper_val.to_string(),
+            ]);
+        }
+        vec![t]
+    }
+}
+
+/// Paper Fig. 11: the Hybrid feasibility map — extra rounds `z` over a
+/// `(T_P', tau)` grid for slack tolerances 100 ns and 400 ns
+/// (`T_P = 1000 ns`; blank cells mean no solution).
+pub mod fig11 {
+    use super::*;
+
+    /// Regenerates both panels as tables (rows: tau; columns: T_P').
+    pub fn run(_config: &Config) -> Vec<Table> {
+        let tp_primes: Vec<f64> = (0..9).map(|i| 1000.0 + 75.0 * i as f64).collect();
+        let taus: Vec<f64> = (1..=7).map(|i| 200.0 * i as f64).collect();
+        let mut out = Vec::new();
+        for eps in [100.0, 400.0] {
+            let mut headers = vec!["tau \\ T_P' (ns)".to_string()];
+            headers.extend(tp_primes.iter().map(|t| format!("{t}")));
+            let mut t = Table::new(
+                format!("fig11_eps{eps}"),
+                format!("Hybrid extra rounds z (eps = {eps} ns, T_P = 1000 ns)"),
+                headers,
+            );
+            for &tau in &taus {
+                let mut row = vec![format!("{tau}")];
+                for &tpp in &tp_primes {
+                    let cell = if (tpp - 1000.0).abs() < 1e-9 {
+                        "-".to_string()
+                    } else {
+                        match solve_hybrid(1000.0, tpp, tau, eps, 5) {
+                            Ok(sol) => sol.extra_rounds.to_string(),
+                            Err(_) => "".to_string(),
+                        }
+                    };
+                    row.push(cell);
+                }
+                t.push_row(row);
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_matches_paper_exactly() {
+        let t = &fig10::run(&Config::quick())[0];
+        for row in &t.rows {
+            assert_eq!(row[2], row[3], "ours vs paper for {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig11_has_blank_and_filled_cells() {
+        let tables = fig11::run(&Config::quick());
+        assert_eq!(tables.len(), 2);
+        let flat100: Vec<&String> = tables[0].rows.iter().flatten().collect();
+        let flat400: Vec<&String> = tables[1].rows.iter().flatten().collect();
+        let filled = |v: &Vec<&String>| v.iter().filter(|c| !c.is_empty() && *c != &"-").count();
+        // eps = 400 admits at least as many solutions as eps = 100.
+        assert!(filled(&flat400) >= filled(&flat100));
+        assert!(flat100.iter().any(|c| c.is_empty()), "some infeasible cells");
+    }
+}

@@ -1,0 +1,127 @@
+//! Result tables with markdown and CSV rendering.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A labelled result table (one per regenerated figure panel or paper
+/// table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Identifier, e.g. `fig14_ibm_zbasis`.
+    pub name: String,
+    /// Human-readable caption.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        name: impl Into<String>,
+        caption: impl Into<String>,
+        headers: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Table {
+        Table {
+            name: name.into(),
+            caption: caption.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: impl IntoIterator<Item = impl Into<String>>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "### {} — {}\n", self.name, self.caption);
+        let _ = writeln!(s, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(s, "| {} |", row.join(" | "));
+        }
+        s
+    }
+
+    /// Renders CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                s,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        s
+    }
+
+    /// Writes `<dir>/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.name)), self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", "caption", ["a", "b"]);
+        t.push_row(["1", "x,y"]);
+        t
+    }
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | x,y |"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "c", ["a", "b"]);
+        t.push_row(["only one"]);
+    }
+}

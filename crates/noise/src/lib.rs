@@ -1,0 +1,34 @@
+//! Hardware configurations and noise models.
+//!
+//! Provides the three hardware configurations from Table 3 of the paper
+//! (IBM, Google, QuEra), the Pauli-twirled T1/T2 idling error model used
+//! by `lattice-sim`, a quasi-static Gaussian dephasing model for the
+//! physical-qubit experiments of Fig. 6, and [`CircuitNoiseModel`], which
+//! lowers a timed [`Schedule`](ftqc_circuit::Schedule) into a flat noisy
+//! [`Circuit`](ftqc_circuit::Circuit) by appending gate errors after each
+//! operation and idle errors for every gap in each qubit's timeline.
+//!
+//! # Example
+//!
+//! ```
+//! use ftqc_circuit::{Op, Schedule};
+//! use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
+//!
+//! let ibm = HardwareConfig::ibm();
+//! let mut s = Schedule::new(2);
+//! s.push(0.0, ibm.gate_1q_ns, Op::h([0]));
+//! // Qubit 1 idles while qubit 0 is busy, then both are measured.
+//! s.push(ibm.gate_1q_ns, ibm.readout_ns, Op::measure_z([0, 1], 0.0));
+//! let noisy = CircuitNoiseModel::standard(1e-3, &ibm).apply(&s);
+//! assert!(noisy.stats().noise_channels > 0);
+//! ```
+
+mod config;
+mod dephasing;
+mod idle;
+mod model;
+
+pub use config::HardwareConfig;
+pub use dephasing::QuasiStaticDephasing;
+pub use idle::IdleModel;
+pub use model::CircuitNoiseModel;

@@ -1,0 +1,352 @@
+//! Lowering timed schedules into noisy circuits.
+
+use crate::{HardwareConfig, IdleModel};
+use ftqc_circuit::{Circuit, Op, Qubit, Schedule};
+
+/// Gaps shorter than this (ns) are treated as perfectly back-to-back.
+const GAP_EPSILON_NS: f64 = 1e-6;
+
+/// A circuit-level noise model in the style of the paper's `lattice-sim`
+/// error interface: depolarizing gate errors, classical readout flips,
+/// reset errors, and Pauli-twirled idle errors for every gap in each
+/// qubit's timeline.
+///
+/// [`CircuitNoiseModel::apply`] lowers a [`Schedule`] to a flat noisy
+/// [`Circuit`]: gate-error channels are appended after each gate layer
+/// and an idle [`Op::PauliChannel`] is inserted before an operation for
+/// every qubit that sat idle since its previous operation. Idle periods
+/// inserted by synchronization policies are plain schedule gaps, so they
+/// are annotated by exactly the same mechanism.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_circuit::{Op, Schedule};
+/// use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
+///
+/// let cfg = HardwareConfig::google();
+/// let mut s = Schedule::new(1);
+/// s.push(0.0, cfg.gate_1q_ns, Op::h([0]));
+/// s.push(1000.0, cfg.gate_1q_ns, Op::h([0])); // ~965 ns idle gap
+/// let c = CircuitNoiseModel::standard(1e-3, &cfg).apply(&s);
+/// let idles = c.ops().iter().filter(|o| matches!(o, Op::PauliChannel { .. })).count();
+/// assert_eq!(idles, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitNoiseModel {
+    /// Depolarizing probability after each single-qubit gate.
+    pub p_1q: f64,
+    /// Depolarizing probability after each two-qubit gate.
+    pub p_2q: f64,
+    /// Classical readout flip probability.
+    pub p_meas: f64,
+    /// Depolarizing probability after each reset.
+    pub p_reset: f64,
+    /// T1/T2 idle model; `None` disables idle errors.
+    pub idle: Option<IdleModel>,
+}
+
+impl CircuitNoiseModel {
+    /// The paper's standard configuration: uniform circuit-level
+    /// depolarizing noise of strength `p` plus the T1/T2 idle model of
+    /// the given hardware.
+    pub fn standard(p: f64, config: &HardwareConfig) -> CircuitNoiseModel {
+        CircuitNoiseModel {
+            p_1q: p,
+            p_2q: p,
+            p_meas: p,
+            p_reset: p,
+            idle: Some(IdleModel::from_config(config)),
+        }
+    }
+
+    /// Depolarizing noise only — no idle errors (an "ideal
+    /// synchronization" reference where idling is free).
+    pub fn depolarizing_only(p: f64) -> CircuitNoiseModel {
+        CircuitNoiseModel {
+            p_1q: p,
+            p_2q: p,
+            p_meas: p,
+            p_reset: p,
+            idle: None,
+        }
+    }
+
+    /// A completely noiseless model (for determinism checks).
+    pub fn ideal() -> CircuitNoiseModel {
+        CircuitNoiseModel {
+            p_1q: 0.0,
+            p_2q: 0.0,
+            p_meas: 0.0,
+            p_reset: 0.0,
+            idle: None,
+        }
+    }
+
+    /// Lowers `schedule` into a flat circuit with noise channels
+    /// inserted.
+    ///
+    /// Operations are lowered in *insertion* order (so measurement
+    /// record indices assigned at build time stay valid); the schedule
+    /// must be causally ordered per qubit, which circuit builders
+    /// guarantee by emitting each qubit's timeline chronologically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation starts before the previous operation on
+    /// one of its qubits has ended (a non-causal schedule).
+    pub fn apply(&self, schedule: &Schedule) -> Circuit {
+        let n = schedule.num_qubits();
+        let mut out = Circuit::new(n);
+        // Per-qubit end time of the previous operation; `None` before a
+        // qubit's first operation (no idle error accrues in the vacuum).
+        let mut last_end: Vec<Option<f64>> = vec![None; n as usize];
+
+        for sop in schedule.ops() {
+            let touched = sop.op.qubits();
+            if !touched.is_empty() {
+                self.emit_idle(&mut out, &touched, &last_end, sop.start);
+                for &q in &touched {
+                    if let Some(prev) = last_end[q as usize] {
+                        assert!(
+                            sop.start >= prev - GAP_EPSILON_NS,
+                            "schedule not causally ordered: qubit {q} op at {} before previous end {prev}",
+                            sop.start
+                        );
+                    }
+                    last_end[q as usize] = Some(sop.start + sop.duration);
+                }
+            }
+            self.emit_op(&mut out, &sop.op);
+        }
+        out
+    }
+
+    /// Emits idle Pauli channels for every touched qubit with a positive
+    /// gap, grouping qubits with (near-)identical gaps into one channel
+    /// op.
+    fn emit_idle(
+        &self,
+        out: &mut Circuit,
+        touched: &[Qubit],
+        last_end: &[Option<f64>],
+        start: f64,
+    ) {
+        let Some(idle) = &self.idle else {
+            return;
+        };
+        // (quantized gap picoseconds, qubits)
+        let mut groups: Vec<(u64, Vec<Qubit>)> = Vec::new();
+        for &q in touched {
+            let Some(prev) = last_end[q as usize] else {
+                continue;
+            };
+            let gap = start - prev;
+            if gap <= GAP_EPSILON_NS {
+                continue;
+            }
+            let key = (gap * 1000.0).round() as u64;
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, qs)) => qs.push(q),
+                None => groups.push((key, vec![q])),
+            }
+        }
+        for (key, qubits) in groups {
+            let gap_ns = key as f64 / 1000.0;
+            let (px, py, pz) = idle.pauli_probabilities(gap_ns);
+            if px + py + pz > 0.0 {
+                out.push(Op::PauliChannel { qubits, px, py, pz });
+            }
+        }
+    }
+
+    fn emit_op(&self, out: &mut Circuit, op: &Op) {
+        match op {
+            Op::H(q) | Op::S(q) | Op::X(q) | Op::Y(q) | Op::Z(q) => {
+                out.push(op.clone());
+                if self.p_1q > 0.0 {
+                    out.push(Op::Depolarize1 {
+                        qubits: q.clone(),
+                        p: self.p_1q,
+                    });
+                }
+            }
+            Op::Cx(pairs) => {
+                out.push(op.clone());
+                if self.p_2q > 0.0 {
+                    out.push(Op::Depolarize2 {
+                        pairs: pairs.clone(),
+                        p: self.p_2q,
+                    });
+                }
+            }
+            Op::ResetZ(q) | Op::ResetX(q) => {
+                out.push(op.clone());
+                if self.p_reset > 0.0 {
+                    out.push(Op::Depolarize1 {
+                        qubits: q.clone(),
+                        p: self.p_reset,
+                    });
+                }
+            }
+            Op::MeasureZ { qubits, .. } => {
+                out.push(Op::MeasureZ {
+                    qubits: qubits.clone(),
+                    flip_probability: self.p_meas,
+                });
+            }
+            Op::MeasureX { qubits, .. } => {
+                out.push(Op::MeasureX {
+                    qubits: qubits.clone(),
+                    flip_probability: self.p_meas,
+                });
+            }
+            Op::MeasureReset { qubits, .. } => {
+                out.push(Op::MeasureReset {
+                    qubits: qubits.clone(),
+                    flip_probability: self.p_meas,
+                });
+                if self.p_reset > 0.0 {
+                    out.push(Op::Depolarize1 {
+                        qubits: qubits.clone(),
+                        p: self.p_reset,
+                    });
+                }
+            }
+            // Pre-existing noise and annotations pass through.
+            Op::PauliChannel { .. }
+            | Op::Depolarize1 { .. }
+            | Op::Depolarize2 { .. }
+            | Op::Detector { .. }
+            | Op::ObservableInclude { .. } => {
+                out.push(op.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_circuit::{DetectorBasis, MeasRef};
+
+    fn count_ops(c: &Circuit, pred: impl Fn(&Op) -> bool) -> usize {
+        c.ops().iter().filter(|o| pred(o)).count()
+    }
+
+    #[test]
+    fn ideal_model_inserts_no_noise() {
+        let mut s = Schedule::new(2);
+        s.push(0.0, 50.0, Op::h([0]));
+        s.push(500.0, 70.0, Op::cx([(0, 1)]));
+        s.push(600.0, 1500.0, Op::measure_z([0, 1], 0.0));
+        let c = CircuitNoiseModel::ideal().apply(&s);
+        assert_eq!(count_ops(&c, |o| o.is_noise()), 0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn gate_noise_follows_each_layer() {
+        let mut s = Schedule::new(2);
+        s.push(0.0, 50.0, Op::h([0, 1]));
+        s.push(50.0, 70.0, Op::cx([(0, 1)]));
+        let c = CircuitNoiseModel::depolarizing_only(1e-3).apply(&s);
+        assert_eq!(count_ops(&c, |o| matches!(o, Op::Depolarize1 { .. })), 1);
+        assert_eq!(count_ops(&c, |o| matches!(o, Op::Depolarize2 { .. })), 1);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn idle_gap_becomes_pauli_channel() {
+        let cfg = HardwareConfig::ibm();
+        let mut s = Schedule::new(1);
+        s.push(0.0, 50.0, Op::h([0]));
+        s.push(1050.0, 50.0, Op::h([0])); // 1000 ns gap
+        let c = CircuitNoiseModel::standard(0.0, &cfg).apply(&s);
+        let chans: Vec<&Op> = c
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, Op::PauliChannel { .. }))
+            .collect();
+        assert_eq!(chans.len(), 1);
+        if let Op::PauliChannel { px, py, pz, .. } = chans[0] {
+            let (ex, ey, ez) = IdleModel::from_config(&cfg).pauli_probabilities(1000.0);
+            assert!((px - ex).abs() < 1e-9);
+            assert!((py - ey).abs() < 1e-9);
+            assert!((pz - ez).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_idle_before_first_op() {
+        let cfg = HardwareConfig::ibm();
+        let mut s = Schedule::new(1);
+        s.push(5000.0, 50.0, Op::h([0])); // starts late, but no previous op
+        let c = CircuitNoiseModel::standard(0.0, &cfg).apply(&s);
+        assert_eq!(count_ops(&c, |o| matches!(o, Op::PauliChannel { .. })), 0);
+    }
+
+    #[test]
+    fn equal_gaps_grouped_into_one_channel() {
+        let cfg = HardwareConfig::ibm();
+        let mut s = Schedule::new(3);
+        s.push(0.0, 50.0, Op::h([0, 1, 2]));
+        s.push(550.0, 50.0, Op::h([0, 1, 2])); // all idle 500 ns
+        let c = CircuitNoiseModel::standard(0.0, &cfg).apply(&s);
+        let chans: Vec<&Op> = c
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, Op::PauliChannel { .. }))
+            .collect();
+        assert_eq!(chans.len(), 1);
+        if let Op::PauliChannel { qubits, .. } = chans[0] {
+            assert_eq!(qubits.len(), 3);
+        }
+    }
+
+    #[test]
+    fn measurement_gets_flip_probability() {
+        let mut s = Schedule::new(1);
+        s.push(0.0, 1500.0, Op::measure_z([0], 0.0));
+        let c = CircuitNoiseModel::depolarizing_only(0.01).apply(&s);
+        match &c.ops()[0] {
+            Op::MeasureZ {
+                flip_probability, ..
+            } => assert_eq!(*flip_probability, 0.01),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn annotations_pass_through() {
+        let mut s = Schedule::new(1);
+        s.push(0.0, 100.0, Op::measure_z([0], 0.0));
+        s.push(
+            100.0,
+            0.0,
+            Op::detector([MeasRef(0)], DetectorBasis::Z),
+        );
+        s.push(
+            100.0,
+            0.0,
+            Op::ObservableInclude {
+                observable: 0,
+                records: vec![MeasRef(0)],
+            },
+        );
+        let c = CircuitNoiseModel::standard(1e-3, &HardwareConfig::ibm()).apply(&s);
+        assert_eq!(c.num_detectors(), 1);
+        assert_eq!(c.num_observables(), 1);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn back_to_back_ops_have_no_idle() {
+        let cfg = HardwareConfig::google();
+        let mut s = Schedule::new(1);
+        s.push(0.0, 35.0, Op::h([0]));
+        s.push(35.0, 35.0, Op::h([0]));
+        let c = CircuitNoiseModel::standard(0.0, &cfg).apply(&s);
+        assert_eq!(count_ops(&c, |o| matches!(o, Op::PauliChannel { .. })), 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Single-qubit Paulis and dense bit-packed Pauli strings.
+
+use std::fmt;
+use std::ops::Mul;
+
+/// A single-qubit Pauli operator (phase-free).
+///
+/// Multiplication via [`Mul`] discards the global phase: `X * Z == Y`.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_pauli::Pauli;
+/// assert_eq!(Pauli::X * Pauli::Y, Pauli::Z);
+/// assert!(Pauli::X.anticommutes(Pauli::Z));
+/// assert!(Pauli::X.commutes(Pauli::X));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Pauli {
+    /// Identity.
+    #[default]
+    I,
+    /// Bit flip.
+    X,
+    /// Bit and phase flip.
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis, in `I, X, Y, Z` order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The three non-identity Paulis, in `X, Y, Z` order.
+    pub const ERRORS: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Returns the `(x, z)` symplectic component bits of this Pauli.
+    ///
+    /// `X = (true, false)`, `Z = (false, true)`, `Y = (true, true)`.
+    #[inline]
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Builds a Pauli from its `(x, z)` symplectic component bits.
+    #[inline]
+    pub fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Returns `true` when the two Paulis commute.
+    #[inline]
+    pub fn commutes(self, other: Pauli) -> bool {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        // Symplectic product: anticommute iff x1*z2 + z1*x2 is odd.
+        (x1 & z2) == (z1 & x2)
+    }
+
+    /// Returns `true` when the two Paulis anticommute.
+    #[inline]
+    pub fn anticommutes(self, other: Pauli) -> bool {
+        !self.commutes(other)
+    }
+
+    /// Returns `true` for the identity.
+    #[inline]
+    pub fn is_identity(self) -> bool {
+        self == Pauli::I
+    }
+
+    /// The X component of this Pauli (`X` for `X`/`Y`, else `I`).
+    #[inline]
+    pub fn x_part(self) -> Pauli {
+        if self.xz().0 {
+            Pauli::X
+        } else {
+            Pauli::I
+        }
+    }
+
+    /// The Z component of this Pauli (`Z` for `Z`/`Y`, else `I`).
+    #[inline]
+    pub fn z_part(self) -> Pauli {
+        if self.xz().1 {
+            Pauli::Z
+        } else {
+            Pauli::I
+        }
+    }
+}
+
+impl Mul for Pauli {
+    type Output = Pauli;
+
+    #[inline]
+    fn mul(self, rhs: Pauli) -> Pauli {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = rhs.xz();
+        Pauli::from_xz(x1 ^ x2, z1 ^ z2)
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn word_count(n: usize) -> usize {
+    n.div_ceil(WORD_BITS)
+}
+
+/// A dense, bit-packed n-qubit Pauli operator, phases ignored.
+///
+/// Internally stores an X bit-plane and a Z bit-plane. All group
+/// operations are word-parallel, so multiplying or comparing strings over
+/// thousands of qubits costs a few dozen XORs.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_pauli::{Pauli, PauliString};
+///
+/// let mut a = PauliString::identity(4);
+/// a.set(0, Pauli::X);
+/// a.set(1, Pauli::X);
+/// let mut b = PauliString::identity(4);
+/// b.set(1, Pauli::Z);
+/// assert!(a.anticommutes(&b));
+/// let c = a.product(&b);
+/// assert_eq!(c.get(1), Pauli::Y);
+/// assert_eq!(c.weight(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    n: usize,
+    xs: Vec<u64>,
+    zs: Vec<u64>,
+}
+
+impl PauliString {
+    /// The identity operator on `n` qubits.
+    pub fn identity(n: usize) -> PauliString {
+        PauliString {
+            n,
+            xs: vec![0; word_count(n)],
+            zs: vec![0; word_count(n)],
+        }
+    }
+
+    /// Builds a Pauli string from `(qubit, pauli)` pairs; all other
+    /// qubits are identity. Later entries multiply into earlier ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit index is `>= n`.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, Pauli)>) -> PauliString {
+        let mut s = PauliString::identity(n);
+        for (q, p) in pairs {
+            s.mul_site(q, p);
+        }
+        s
+    }
+
+    /// Number of qubits this operator is defined on.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The Pauli acting on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    #[inline]
+    pub fn get(&self, q: usize) -> Pauli {
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        let (w, b) = (q / WORD_BITS, q % WORD_BITS);
+        Pauli::from_xz((self.xs[w] >> b) & 1 == 1, (self.zs[w] >> b) & 1 == 1)
+    }
+
+    /// Overwrites the Pauli acting on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    #[inline]
+    pub fn set(&mut self, q: usize, p: Pauli) {
+        assert!(q < self.n, "qubit {q} out of range for {} qubits", self.n);
+        let (w, b) = (q / WORD_BITS, q % WORD_BITS);
+        let (x, z) = p.xz();
+        self.xs[w] = (self.xs[w] & !(1 << b)) | ((x as u64) << b);
+        self.zs[w] = (self.zs[w] & !(1 << b)) | ((z as u64) << b);
+    }
+
+    /// Multiplies the Pauli `p` into site `q` (phase-free).
+    #[inline]
+    pub fn mul_site(&mut self, q: usize, p: Pauli) {
+        let cur = self.get(q);
+        self.set(q, cur * p);
+    }
+
+    /// In-place phase-free product: `self <- self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands act on a different number of qubits.
+    pub fn mul_assign(&mut self, other: &PauliString) {
+        assert_eq!(self.n, other.n, "pauli string length mismatch");
+        for (a, b) in self.xs.iter_mut().zip(&other.xs) {
+            *a ^= b;
+        }
+        for (a, b) in self.zs.iter_mut().zip(&other.zs) {
+            *a ^= b;
+        }
+    }
+
+    /// Phase-free product `self * other`.
+    pub fn product(&self, other: &PauliString) -> PauliString {
+        let mut out = self.clone();
+        out.mul_assign(other);
+        out
+    }
+
+    /// Returns `true` when the two operators commute.
+    pub fn commutes(&self, other: &PauliString) -> bool {
+        assert_eq!(self.n, other.n, "pauli string length mismatch");
+        let mut acc = 0u32;
+        for i in 0..self.xs.len() {
+            acc ^= (self.xs[i] & other.zs[i]).count_ones();
+            acc ^= (self.zs[i] & other.xs[i]).count_ones();
+        }
+        acc & 1 == 0
+    }
+
+    /// Returns `true` when the two operators anticommute.
+    pub fn anticommutes(&self, other: &PauliString) -> bool {
+        !self.commutes(other)
+    }
+
+    /// Number of qubits acted on non-trivially.
+    pub fn weight(&self) -> usize {
+        self.xs
+            .iter()
+            .zip(&self.zs)
+            .map(|(x, z)| (x | z).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns `true` when this is the identity operator.
+    pub fn is_identity(&self) -> bool {
+        self.xs.iter().all(|w| *w == 0) && self.zs.iter().all(|w| *w == 0)
+    }
+
+    /// Iterates over the non-identity `(qubit, pauli)` sites in
+    /// ascending qubit order.
+    pub fn iter_support(&self) -> impl Iterator<Item = (usize, Pauli)> + '_ {
+        (0..self.n).filter_map(move |q| {
+            let p = self.get(q);
+            (!p.is_identity()).then_some((q, p))
+        })
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_identity() {
+            return write!(f, "I");
+        }
+        let mut first = true;
+        for (q, p) in self.iter_support() {
+            if !first {
+                write!(f, "*")?;
+            }
+            write!(f, "{p}{q}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_multiplication_table() {
+        use Pauli::*;
+        assert_eq!(X * X, I);
+        assert_eq!(Y * Y, I);
+        assert_eq!(Z * Z, I);
+        assert_eq!(X * Y, Z);
+        assert_eq!(Y * Z, X);
+        assert_eq!(Z * X, Y);
+        for p in Pauli::ALL {
+            assert_eq!(I * p, p);
+            assert_eq!(p * I, p);
+        }
+    }
+
+    #[test]
+    fn pauli_commutation() {
+        use Pauli::*;
+        for p in Pauli::ALL {
+            assert!(p.commutes(p));
+            assert!(p.commutes(I));
+        }
+        assert!(X.anticommutes(Z));
+        assert!(X.anticommutes(Y));
+        assert!(Y.anticommutes(Z));
+    }
+
+    #[test]
+    fn pauli_parts() {
+        use Pauli::*;
+        assert_eq!(Y.x_part(), X);
+        assert_eq!(Y.z_part(), Z);
+        assert_eq!(X.x_part(), X);
+        assert_eq!(X.z_part(), I);
+        assert_eq!(Z.x_part(), I);
+        assert_eq!(Z.z_part(), Z);
+    }
+
+    #[test]
+    fn string_get_set_roundtrip() {
+        let mut s = PauliString::identity(130);
+        s.set(0, Pauli::X);
+        s.set(63, Pauli::Y);
+        s.set(64, Pauli::Z);
+        s.set(129, Pauli::Y);
+        assert_eq!(s.get(0), Pauli::X);
+        assert_eq!(s.get(63), Pauli::Y);
+        assert_eq!(s.get(64), Pauli::Z);
+        assert_eq!(s.get(129), Pauli::Y);
+        assert_eq!(s.get(1), Pauli::I);
+        assert_eq!(s.weight(), 4);
+    }
+
+    #[test]
+    fn string_product_matches_sitewise() {
+        let a = PauliString::from_pairs(8, [(0, Pauli::X), (3, Pauli::Y), (5, Pauli::Z)]);
+        let b = PauliString::from_pairs(8, [(0, Pauli::Z), (3, Pauli::Y), (6, Pauli::X)]);
+        let c = a.product(&b);
+        assert_eq!(c.get(0), Pauli::Y);
+        assert_eq!(c.get(3), Pauli::I);
+        assert_eq!(c.get(5), Pauli::Z);
+        assert_eq!(c.get(6), Pauli::X);
+    }
+
+    #[test]
+    fn string_commutation_counts_overlaps() {
+        // XX vs ZZ overlap on two anticommuting sites -> commute overall.
+        let xx = PauliString::from_pairs(2, [(0, Pauli::X), (1, Pauli::X)]);
+        let zz = PauliString::from_pairs(2, [(0, Pauli::Z), (1, Pauli::Z)]);
+        assert!(xx.commutes(&zz));
+        let xi = PauliString::from_pairs(2, [(0, Pauli::X)]);
+        assert!(xi.anticommutes(&zz));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let id = PauliString::identity(3);
+        assert_eq!(id.to_string(), "I");
+        let s = PauliString::from_pairs(3, [(1, Pauli::Y)]);
+        assert_eq!(s.to_string(), "Y1");
+    }
+
+    #[test]
+    fn from_pairs_multiplies_duplicates() {
+        let s = PauliString::from_pairs(2, [(0, Pauli::X), (0, Pauli::Z)]);
+        assert_eq!(s.get(0), Pauli::Y);
+    }
+}

@@ -1,0 +1,202 @@
+//! Sparse Pauli operators for error propagation.
+
+use crate::Pauli;
+use std::fmt;
+
+/// A sparse n-qubit Pauli operator stored as sorted `(qubit, pauli)`
+/// pairs.
+///
+/// Error-propagation code (detector-error-model extraction, hook-error
+/// analysis) handles Paulis whose support is a handful of qubits out of
+/// thousands; this representation keeps those operations `O(weight)`
+/// instead of `O(n)`.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_pauli::{Pauli, SparsePauli};
+///
+/// let mut e = SparsePauli::new();
+/// e.mul_site(7, Pauli::X);
+/// e.mul_site(2, Pauli::Z);
+/// e.mul_site(7, Pauli::Z); // X * Z = Y on qubit 7
+/// assert_eq!(e.get(7), Pauli::Y);
+/// assert_eq!(e.weight(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SparsePauli {
+    /// Sorted by qubit; never contains identity entries.
+    terms: Vec<(u32, Pauli)>,
+}
+
+impl SparsePauli {
+    /// The identity operator.
+    pub fn new() -> SparsePauli {
+        SparsePauli::default()
+    }
+
+    /// A single-site operator.
+    pub fn single(qubit: u32, p: Pauli) -> SparsePauli {
+        let mut s = SparsePauli::new();
+        s.mul_site(qubit, p);
+        s
+    }
+
+    /// The Pauli acting on `qubit` (identity when absent).
+    pub fn get(&self, qubit: u32) -> Pauli {
+        match self.terms.binary_search_by_key(&qubit, |&(q, _)| q) {
+            Ok(i) => self.terms[i].1,
+            Err(_) => Pauli::I,
+        }
+    }
+
+    /// Multiplies `p` into the given site, dropping the entry if the
+    /// product is identity.
+    pub fn mul_site(&mut self, qubit: u32, p: Pauli) {
+        if p.is_identity() {
+            return;
+        }
+        match self.terms.binary_search_by_key(&qubit, |&(q, _)| q) {
+            Ok(i) => {
+                let np = self.terms[i].1 * p;
+                if np.is_identity() {
+                    self.terms.remove(i);
+                } else {
+                    self.terms[i].1 = np;
+                }
+            }
+            Err(i) => self.terms.insert(i, (qubit, p)),
+        }
+    }
+
+    /// Overwrites the Pauli on the given site.
+    pub fn set(&mut self, qubit: u32, p: Pauli) {
+        match self.terms.binary_search_by_key(&qubit, |&(q, _)| q) {
+            Ok(i) => {
+                if p.is_identity() {
+                    self.terms.remove(i);
+                } else {
+                    self.terms[i].1 = p;
+                }
+            }
+            Err(i) => {
+                if !p.is_identity() {
+                    self.terms.insert(i, (qubit, p));
+                }
+            }
+        }
+    }
+
+    /// Number of non-identity sites.
+    pub fn weight(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` for the identity operator.
+    pub fn is_identity(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over the non-identity `(qubit, pauli)` sites in
+    /// ascending qubit order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Pauli)> + '_ {
+        self.terms.iter().copied()
+    }
+
+    /// The operator restricted to its X components (`Y -> X`).
+    pub fn x_part(&self) -> SparsePauli {
+        SparsePauli {
+            terms: self
+                .terms
+                .iter()
+                .filter(|(_, p)| !p.x_part().is_identity())
+                .map(|&(q, _)| (q, Pauli::X))
+                .collect(),
+        }
+    }
+
+    /// The operator restricted to its Z components (`Y -> Z`).
+    pub fn z_part(&self) -> SparsePauli {
+        SparsePauli {
+            terms: self
+                .terms
+                .iter()
+                .filter(|(_, p)| !p.z_part().is_identity())
+                .map(|&(q, _)| (q, Pauli::Z))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<(u32, Pauli)> for SparsePauli {
+    fn from_iter<T: IntoIterator<Item = (u32, Pauli)>>(iter: T) -> SparsePauli {
+        let mut s = SparsePauli::new();
+        for (q, p) in iter {
+            s.mul_site(q, p);
+        }
+        s
+    }
+}
+
+impl fmt::Display for SparsePauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_identity() {
+            return write!(f, "I");
+        }
+        let mut first = true;
+        for (q, p) in self.iter() {
+            if !first {
+                write!(f, "*")?;
+            }
+            write!(f, "{p}{q}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_site_cancels_to_identity() {
+        let mut e = SparsePauli::single(3, Pauli::X);
+        e.mul_site(3, Pauli::X);
+        assert!(e.is_identity());
+        assert_eq!(e.weight(), 0);
+    }
+
+    #[test]
+    fn parts_split_y() {
+        let e: SparsePauli = [(1, Pauli::Y), (4, Pauli::X), (9, Pauli::Z)]
+            .into_iter()
+            .collect();
+        let x = e.x_part();
+        let z = e.z_part();
+        assert_eq!(x.get(1), Pauli::X);
+        assert_eq!(x.get(4), Pauli::X);
+        assert_eq!(x.get(9), Pauli::I);
+        assert_eq!(z.get(1), Pauli::Z);
+        assert_eq!(z.get(4), Pauli::I);
+        assert_eq!(z.get(9), Pauli::Z);
+    }
+
+    #[test]
+    fn set_overwrites_and_removes() {
+        let mut e = SparsePauli::single(2, Pauli::X);
+        e.set(2, Pauli::Z);
+        assert_eq!(e.get(2), Pauli::Z);
+        e.set(2, Pauli::I);
+        assert!(e.is_identity());
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let e: SparsePauli = [(9, Pauli::Z), (1, Pauli::X), (4, Pauli::Y)]
+            .into_iter()
+            .collect();
+        let qs: Vec<u32> = e.iter().map(|(q, _)| q).collect();
+        assert_eq!(qs, vec![1, 4, 9]);
+    }
+}

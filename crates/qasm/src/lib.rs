@@ -1,0 +1,41 @@
+//! OpenQASM 2 subset parsing and Clifford+T resource analysis.
+//!
+//! The paper's `lattice-sim` "consists of a parser that can take QASM
+//! circuits as an input"; this crate provides that front end for the
+//! workspace, plus the gate-level analyses the resource estimator
+//! consumes:
+//!
+//! * [`Program::parse`] — an OpenQASM 2 subset parser (`qreg`/`creg`,
+//!   the `qelib1.inc` gates used by MQTBench circuits, `measure`,
+//!   `barrier`).
+//! * [`Analysis`] — gate counts, T-count after Clifford+T decomposition
+//!   (with the standard `~ 1.15 log2(1/eps) + 9.2` T-per-rotation
+//!   synthesis cost), logical depth, and the maximum number of
+//!   concurrent CNOTs under an ASAP schedule (paper Fig. 20).
+//!
+//! # Example
+//!
+//! ```
+//! use ftqc_qasm::Program;
+//!
+//! let src = r#"
+//!     OPENQASM 2.0;
+//!     include "qelib1.inc";
+//!     qreg q[3];
+//!     h q[0];
+//!     cx q[0], q[1];
+//!     t q[2];
+//!     rz(0.3) q[1];
+//!     ccx q[0], q[1], q[2];
+//!     "#;
+//! let prog = Program::parse(src).unwrap();
+//! let a = prog.analyze(1e-10);
+//! assert_eq!(a.num_qubits, 3);
+//! assert!(a.t_count > 8); // t + rz synthesis + 7 for ccx
+//! ```
+
+mod analysis;
+mod parser;
+
+pub use analysis::{rotation_t_cost, Analysis};
+pub use parser::{Gate, ParseError, Program};

@@ -1,0 +1,615 @@
+//! Batched Pauli-frame simulation.
+
+use ftqc_circuit::{Circuit, Op, Qubit};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const WORD_BITS: usize = 64;
+
+/// A batched Pauli-frame simulator.
+///
+/// Tracks, for every qubit, the X and Z components of the accumulated
+/// error frame for `shots` Monte-Carlo shots simultaneously (64 shots
+/// per `u64` word). Clifford gates permute frames in `O(words)` bit
+/// operations; noise channels are sampled sparsely with geometric skips,
+/// so the cost of noise scales with the number of *errors*, not the
+/// number of shots.
+///
+/// Measurement records store the frame-induced *flip* of each
+/// measurement relative to the noiseless reference, which is exactly
+/// what detectors and observables consume — so detector samples come out
+/// directly as syndrome bits.
+#[derive(Debug)]
+pub struct FrameSimulator {
+    shots: usize,
+    words: usize,
+    xs: Vec<u64>,
+    zs: Vec<u64>,
+    records: Vec<u64>,
+    num_records: usize,
+    rng: SmallRng,
+}
+
+impl FrameSimulator {
+    /// Creates a simulator for `num_qubits` qubits and a batch of
+    /// `shots` shots, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    pub fn new(num_qubits: u32, shots: usize, seed: u64) -> FrameSimulator {
+        assert!(shots > 0, "batch must contain at least one shot");
+        let words = shots.div_ceil(WORD_BITS);
+        let _ = num_qubits;
+        FrameSimulator {
+            shots,
+            words,
+            xs: vec![0; num_qubits as usize * words],
+            zs: vec![0; num_qubits as usize * words],
+            records: Vec::new(),
+            num_records: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of shots in this batch.
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// Runs every operation of `circuit` (detectors and observables are
+    /// ignored here; use [`sample_batch`] to collect them).
+    pub fn run(&mut self, circuit: &Circuit) {
+        for op in circuit.ops() {
+            self.apply(op);
+        }
+    }
+
+    /// The measurement-flip record for measurement index `rec` as a word
+    /// row.
+    pub fn record_row(&self, rec: usize) -> &[u64] {
+        &self.records[rec * self.words..(rec + 1) * self.words]
+    }
+
+    /// Number of measurement records produced so far.
+    pub fn num_records(&self) -> usize {
+        self.num_records
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::H(qs) => {
+                for &q in qs {
+                    let (w, q) = (self.words, q as usize);
+                    for i in 0..w {
+                        std::mem::swap(&mut self.xs[q * w + i], &mut self.zs[q * w + i]);
+                    }
+                }
+            }
+            Op::S(qs) => {
+                for &q in qs {
+                    let (w, q) = (self.words, q as usize);
+                    for i in 0..w {
+                        self.zs[q * w + i] ^= self.xs[q * w + i];
+                    }
+                }
+            }
+            // Deterministic Pauli gates are part of the reference and do
+            // not move error frames.
+            Op::X(_) | Op::Y(_) | Op::Z(_) => {}
+            Op::Cx(pairs) => {
+                let w = self.words;
+                for &(c, t) in pairs {
+                    let (c, t) = (c as usize, t as usize);
+                    for i in 0..w {
+                        self.xs[t * w + i] ^= self.xs[c * w + i];
+                        self.zs[c * w + i] ^= self.zs[t * w + i];
+                    }
+                }
+            }
+            Op::ResetZ(qs) | Op::ResetX(qs) => {
+                for &q in qs {
+                    let (w, q) = (self.words, q as usize);
+                    self.xs[q * w..(q + 1) * w].fill(0);
+                    self.zs[q * w..(q + 1) * w].fill(0);
+                }
+            }
+            Op::MeasureZ {
+                qubits,
+                flip_probability,
+            } => {
+                for &q in qubits {
+                    self.record_measurement(q, Basis::Z, *flip_probability, false);
+                }
+            }
+            Op::MeasureX {
+                qubits,
+                flip_probability,
+            } => {
+                for &q in qubits {
+                    self.record_measurement(q, Basis::X, *flip_probability, false);
+                }
+            }
+            Op::MeasureReset {
+                qubits,
+                flip_probability,
+            } => {
+                for &q in qubits {
+                    self.record_measurement(q, Basis::Z, *flip_probability, true);
+                }
+            }
+            Op::PauliChannel { qubits, px, py, pz } => {
+                let pt = px + py + pz;
+                let (px, py) = (*px, *py);
+                for &q in qubits {
+                    self.for_each_hit(pt, |sim, shot| {
+                        let u: f64 = sim.rng.gen::<f64>() * pt;
+                        if u < px {
+                            sim.flip_x(q, shot);
+                        } else if u < px + py {
+                            sim.flip_x(q, shot);
+                            sim.flip_z(q, shot);
+                        } else {
+                            sim.flip_z(q, shot);
+                        }
+                    });
+                }
+            }
+            Op::Depolarize1 { qubits, p } => {
+                for &q in qubits {
+                    self.for_each_hit(*p, |sim, shot| {
+                        match sim.rng.gen_range(1..4u8) {
+                            1 => sim.flip_x(q, shot),
+                            2 => {
+                                sim.flip_x(q, shot);
+                                sim.flip_z(q, shot);
+                            }
+                            _ => sim.flip_z(q, shot),
+                        };
+                    });
+                }
+            }
+            Op::Depolarize2 { pairs, p } => {
+                for &(a, b) in pairs {
+                    self.for_each_hit(*p, |sim, shot| {
+                        let k = sim.rng.gen_range(1..16u8);
+                        let (pa, pb) = (k >> 2, k & 3);
+                        sim.apply_pauli_code(a, pa, shot);
+                        sim.apply_pauli_code(b, pb, shot);
+                    });
+                }
+            }
+            Op::Detector { .. } | Op::ObservableInclude { .. } => {}
+        }
+    }
+
+    /// Appends a measurement record row for qubit `q`, applying classical
+    /// flip noise, and clears the appropriate post-measurement frame
+    /// components (the measured-basis phase component is unphysical after
+    /// the measurement and must not propagate; a reset clears both).
+    fn record_measurement(&mut self, q: Qubit, basis: Basis, flip_p: f64, reset: bool) {
+        let w = self.words;
+        let qi = q as usize;
+        let start = self.records.len();
+        match basis {
+            Basis::Z => self
+                .records
+                .extend_from_slice(&self.xs[qi * w..(qi + 1) * w]),
+            Basis::X => self
+                .records
+                .extend_from_slice(&self.zs[qi * w..(qi + 1) * w]),
+        }
+        self.num_records += 1;
+        if flip_p > 0.0 {
+            self.for_each_hit(flip_p, |sim, shot| {
+                sim.records[start + shot / WORD_BITS] ^= 1u64 << (shot % WORD_BITS);
+            });
+        }
+        match basis {
+            Basis::Z => {
+                self.zs[qi * w..(qi + 1) * w].fill(0);
+                if reset {
+                    self.xs[qi * w..(qi + 1) * w].fill(0);
+                }
+            }
+            Basis::X => {
+                self.xs[qi * w..(qi + 1) * w].fill(0);
+                if reset {
+                    self.zs[qi * w..(qi + 1) * w].fill(0);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn flip_x(&mut self, q: Qubit, shot: usize) {
+        self.xs[q as usize * self.words + shot / WORD_BITS] ^= 1u64 << (shot % WORD_BITS);
+    }
+
+    #[inline]
+    fn flip_z(&mut self, q: Qubit, shot: usize) {
+        self.zs[q as usize * self.words + shot / WORD_BITS] ^= 1u64 << (shot % WORD_BITS);
+    }
+
+    #[inline]
+    fn apply_pauli_code(&mut self, q: Qubit, code: u8, shot: usize) {
+        // 0 = I, 1 = X, 2 = Y, 3 = Z.
+        if code == 1 || code == 2 {
+            self.flip_x(q, shot);
+        }
+        if code == 2 || code == 3 {
+            self.flip_z(q, shot);
+        }
+    }
+
+    /// Visits each shot where an event of probability `p` occurs, using
+    /// geometric skip sampling so the cost is proportional to the number
+    /// of events.
+    fn for_each_hit(&mut self, p: f64, mut f: impl FnMut(&mut Self, usize)) {
+        if p <= 0.0 {
+            return;
+        }
+        if p >= 1.0 {
+            for shot in 0..self.shots {
+                f(self, shot);
+            }
+            return;
+        }
+        let ln_skip = (1.0 - p).ln();
+        let mut shot = 0usize;
+        loop {
+            let u: f64 = 1.0 - self.rng.gen::<f64>(); // (0, 1]
+            let skip = (u.ln() / ln_skip).floor();
+            if !skip.is_finite() || skip >= (self.shots - shot) as f64 {
+                return;
+            }
+            shot += skip as usize;
+            f(self, shot);
+            shot += 1;
+            if shot >= self.shots {
+                return;
+            }
+        }
+    }
+}
+
+enum Basis {
+    X,
+    Z,
+}
+
+/// Detector and observable flip samples for one batch of shots.
+///
+/// Rows are bit-packed across shots: bit `s` of word `s / 64` in row `d`
+/// is detector `d`'s value in shot `s`.
+#[derive(Debug, Clone)]
+pub struct SampleBatch {
+    /// Number of shots in the batch.
+    pub shots: usize,
+    /// Words per row (`ceil(shots / 64)`).
+    pub words: usize,
+    /// `num_detectors` rows of detector flips.
+    pub detectors: Vec<u64>,
+    /// `num_observables` rows of observable flips.
+    pub observables: Vec<u64>,
+    /// Number of detector rows.
+    pub num_detectors: usize,
+    /// Number of observable rows.
+    pub num_observables: usize,
+}
+
+impl SampleBatch {
+    /// Detector `d`'s value in shot `s`.
+    #[inline]
+    pub fn detector(&self, d: usize, s: usize) -> bool {
+        (self.detectors[d * self.words + s / WORD_BITS] >> (s % WORD_BITS)) & 1 == 1
+    }
+
+    /// Observable `o`'s flip in shot `s`.
+    #[inline]
+    pub fn observable(&self, o: usize, s: usize) -> bool {
+        (self.observables[o * self.words + s / WORD_BITS] >> (s % WORD_BITS)) & 1 == 1
+    }
+
+    /// The flagged (fired) detector indices of shot `s`, ascending.
+    pub fn flagged_detectors(&self, s: usize) -> Vec<u32> {
+        (0..self.num_detectors)
+            .filter(|&d| self.detector(d, s))
+            .map(|d| d as u32)
+            .collect()
+    }
+
+    /// Total number of shots in which detector `d` fired.
+    pub fn count_detector_flips(&self, d: usize) -> u64 {
+        let mut total = 0u64;
+        for w in 0..self.words {
+            let mut word = self.detectors[d * self.words + w];
+            // Mask out padding bits beyond `shots` in the last word (the
+            // simulator never sets them, but be defensive).
+            let valid = self.shots.saturating_sub(w * WORD_BITS);
+            if valid < WORD_BITS {
+                word &= (1u64 << valid) - 1;
+            }
+            total += word.count_ones() as u64;
+        }
+        total
+    }
+
+    /// Syndrome Hamming weight (number of flagged detectors) of shot `s`.
+    pub fn hamming_weight(&self, s: usize) -> usize {
+        (0..self.num_detectors).filter(|&d| self.detector(d, s)).count()
+    }
+}
+
+/// Samples one batch of `shots` shots of `circuit`, returning detector
+/// and observable flips.
+///
+/// # Panics
+///
+/// Panics if `shots == 0`.
+pub fn sample_batch(circuit: &Circuit, shots: usize, seed: u64) -> SampleBatch {
+    let mut sim = FrameSimulator::new(circuit.num_qubits(), shots, seed);
+    sim.run(circuit);
+    let words = sim.words;
+    let num_detectors = circuit.num_detectors() as usize;
+    let num_observables = circuit.num_observables() as usize;
+    let mut detectors = vec![0u64; num_detectors * words];
+    let mut observables = vec![0u64; num_observables * words];
+    let mut d = 0usize;
+    for op in circuit.ops() {
+        match op {
+            Op::Detector { records, .. } => {
+                for r in records {
+                    let row = sim.record_row(r.0 as usize);
+                    for w in 0..words {
+                        detectors[d * words + w] ^= row[w];
+                    }
+                }
+                d += 1;
+            }
+            Op::ObservableInclude {
+                observable,
+                records,
+            } => {
+                let o = *observable as usize;
+                for r in records {
+                    let row = sim.record_row(r.0 as usize);
+                    for w in 0..words {
+                        observables[o * words + w] ^= row[w];
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    SampleBatch {
+        shots,
+        words,
+        detectors,
+        observables,
+        num_detectors,
+        num_observables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_circuit::{DetectorBasis, MeasRef};
+
+    fn flip_rate(batch: &SampleBatch, det: usize) -> f64 {
+        batch.count_detector_flips(det) as f64 / batch.shots as f64
+    }
+
+    #[test]
+    fn noiseless_detectors_never_fire() {
+        let mut c = Circuit::new(2);
+        c.push(Op::ResetZ(vec![0, 1]));
+        c.push(Op::h([0]));
+        c.push(Op::cx([(0, 1)]));
+        c.push(Op::measure_z([0, 1], 0.0));
+        c.push(Op::detector([MeasRef(0), MeasRef(1)], DetectorBasis::Z));
+        let b = sample_batch(&c, 640, 1);
+        assert_eq!(b.count_detector_flips(0), 0);
+    }
+
+    #[test]
+    fn x_error_flips_z_measurement() {
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::PauliChannel {
+            qubits: vec![0],
+            px: 1.0,
+            py: 0.0,
+            pz: 0.0,
+        });
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        let b = sample_batch(&c, 128, 7);
+        assert_eq!(b.count_detector_flips(0), 128);
+    }
+
+    #[test]
+    fn z_error_does_not_flip_z_measurement() {
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::PauliChannel {
+            qubits: vec![0],
+            px: 0.0,
+            py: 0.0,
+            pz: 1.0,
+        });
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        let b = sample_batch(&c, 128, 7);
+        assert_eq!(b.count_detector_flips(0), 0);
+    }
+
+    #[test]
+    fn z_error_flips_x_measurement_through_h() {
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::h([0]));
+        c.push(Op::PauliChannel {
+            qubits: vec![0],
+            px: 0.0,
+            py: 0.0,
+            pz: 1.0,
+        });
+        c.push(Op::h([0]));
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        let b = sample_batch(&c, 64, 3);
+        assert_eq!(b.count_detector_flips(0), 64);
+    }
+
+    #[test]
+    fn cx_propagates_x_frames() {
+        // X on control propagates to target.
+        let mut c = Circuit::new(2);
+        c.push(Op::ResetZ(vec![0, 1]));
+        c.push(Op::PauliChannel {
+            qubits: vec![0],
+            px: 1.0,
+            py: 0.0,
+            pz: 0.0,
+        });
+        c.push(Op::cx([(0, 1)]));
+        c.push(Op::measure_z([1], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        let b = sample_batch(&c, 64, 3);
+        assert_eq!(b.count_detector_flips(0), 64);
+    }
+
+    #[test]
+    fn reset_clears_frames() {
+        let mut c = Circuit::new(1);
+        c.push(Op::PauliChannel {
+            qubits: vec![0],
+            px: 1.0,
+            py: 0.0,
+            pz: 0.0,
+        });
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        let b = sample_batch(&c, 64, 3);
+        assert_eq!(b.count_detector_flips(0), 0);
+    }
+
+    #[test]
+    fn measurement_flip_noise_has_right_rate() {
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::measure_z([0], 0.1));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        let b = sample_batch(&c, 100_000, 99);
+        let r = flip_rate(&b, 0);
+        assert!((r - 0.1).abs() < 0.01, "rate {r}");
+    }
+
+    #[test]
+    fn depolarize1_rate_is_two_thirds_on_z_basis() {
+        // Only X and Y components (2/3 of events) flip a Z measurement.
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::Depolarize1 {
+            qubits: vec![0],
+            p: 0.3,
+        });
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        let b = sample_batch(&c, 100_000, 5);
+        let r = flip_rate(&b, 0);
+        assert!((r - 0.2).abs() < 0.01, "rate {r}");
+    }
+
+    #[test]
+    fn depolarize2_rate_matches_marginal() {
+        // P(first qubit has X or Y) = 8/15 * p.
+        let mut c = Circuit::new(2);
+        c.push(Op::ResetZ(vec![0, 1]));
+        c.push(Op::Depolarize2 {
+            pairs: vec![(0, 1)],
+            p: 0.15,
+        });
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        let b = sample_batch(&c, 200_000, 11);
+        let r = flip_rate(&b, 0);
+        let expect = 0.15 * 8.0 / 15.0;
+        assert!((r - expect).abs() < 0.005, "rate {r} vs {expect}");
+    }
+
+    #[test]
+    fn observables_accumulate_records() {
+        let mut c = Circuit::new(2);
+        c.push(Op::ResetZ(vec![0, 1]));
+        c.push(Op::PauliChannel {
+            qubits: vec![0],
+            px: 1.0,
+            py: 0.0,
+            pz: 0.0,
+        });
+        c.push(Op::measure_z([0, 1], 0.0));
+        c.push(Op::ObservableInclude {
+            observable: 0,
+            records: vec![MeasRef(0), MeasRef(1)],
+        });
+        let b = sample_batch(&c, 64, 1);
+        assert!(b.observable(0, 0));
+    }
+
+    #[test]
+    fn measure_reset_clears_state_but_records_flip() {
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::PauliChannel {
+            qubits: vec![0],
+            px: 1.0,
+            py: 0.0,
+            pz: 0.0,
+        });
+        c.push(Op::measure_reset([0], 0.0));
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        c.push(Op::detector([MeasRef(1)], DetectorBasis::Z));
+        let b = sample_batch(&c, 64, 1);
+        assert_eq!(b.count_detector_flips(0), 64);
+        assert_eq!(b.count_detector_flips(1), 0);
+    }
+
+    #[test]
+    fn batch_not_multiple_of_64_counts_correctly() {
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::PauliChannel {
+            qubits: vec![0],
+            px: 1.0,
+            py: 0.0,
+            pz: 0.0,
+        });
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        let b = sample_batch(&c, 70, 1);
+        assert_eq!(b.count_detector_flips(0), 70);
+    }
+
+    #[test]
+    fn hamming_weight_counts_flagged() {
+        let mut c = Circuit::new(2);
+        c.push(Op::ResetZ(vec![0, 1]));
+        c.push(Op::PauliChannel {
+            qubits: vec![0, 1],
+            px: 1.0,
+            py: 0.0,
+            pz: 0.0,
+        });
+        c.push(Op::measure_z([0, 1], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        c.push(Op::detector([MeasRef(1)], DetectorBasis::Z));
+        let b = sample_batch(&c, 64, 1);
+        assert_eq!(b.hamming_weight(5), 2);
+        assert_eq!(b.flagged_detectors(5), vec![0, 1]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Bulk stabilizer-circuit sampling and detector error models.
+//!
+//! This crate is the workspace's Stim equivalent:
+//!
+//! * [`FrameSimulator`] / [`SampleBatch`] — a batched Pauli-frame
+//!   simulator that propagates error frames for 64 shots per machine
+//!   word and produces detector / observable flip samples.
+//! * [`DetectorErrorModel`] — extraction of every error mechanism's
+//!   detector footprint via a backward sensitivity sweep, with CSS
+//!   decomposition into graphlike (≤ 2 detector) mechanisms for matching
+//!   decoders.
+//! * [`verify_deterministic`] — a tableau-based check that every
+//!   detector and observable of a circuit is deterministic under zero
+//!   noise (the validity condition Stim enforces).
+//! * [`parallel_batches`] — a deterministic multithreaded shot runner.
+//! * [`BinomialEstimate`] — logical-error-rate statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use ftqc_circuit::{Circuit, DetectorBasis, MeasRef, Op};
+//! use ftqc_sim::{sample_batch, verify_deterministic};
+//!
+//! // A noisy data qubit copied onto an ancilla and measured.
+//! let mut c = Circuit::new(2);
+//! c.push(Op::ResetZ(vec![0, 1]));
+//! c.push(Op::Depolarize1 { qubits: vec![0], p: 0.3 });
+//! c.push(Op::cx([(0, 1)]));
+//! c.push(Op::measure_z([0, 1], 0.0));
+//! c.push(Op::detector([MeasRef(1)], DetectorBasis::Z));
+//! verify_deterministic(&c, 4).unwrap();
+//! let batch = sample_batch(&c, 256, 42);
+//! // The detector fires for X and Y errors (~2/3 of depolarizing events).
+//! assert!(batch.count_detector_flips(0) > 0);
+//! ```
+
+mod dem;
+mod frame;
+mod parallel;
+mod reference;
+mod stats;
+
+pub use dem::{DemStats, DetectorErrorModel, Mechanism};
+pub use frame::{sample_batch, FrameSimulator, SampleBatch};
+pub use parallel::parallel_batches;
+pub use reference::{run_reference, verify_deterministic, ReferenceRun};
+pub use stats::BinomialEstimate;

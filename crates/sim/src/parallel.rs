@@ -1,0 +1,134 @@
+//! Deterministic multithreaded shot running.
+
+use crate::frame::{sample_batch, SampleBatch};
+use ftqc_circuit::Circuit;
+
+/// SplitMix64 finalizer, used to derive independent per-batch seeds.
+fn mix_seed(seed: u64, batch: u64) -> u64 {
+    let mut z = seed ^ batch.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Samples `shots` shots of `circuit` in batches of `batch_shots` across
+/// `threads` OS threads, applying `f` to every batch and returning the
+/// per-batch results in batch order.
+///
+/// Seeding is deterministic: batch `i` always uses the same derived
+/// seed, so results are reproducible for a fixed `(seed, batch_shots)`
+/// regardless of thread count.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_circuit::{Circuit, DetectorBasis, MeasRef, Op};
+/// use ftqc_sim::parallel_batches;
+///
+/// let mut c = Circuit::new(1);
+/// c.push(Op::ResetZ(vec![0]));
+/// c.push(Op::Depolarize1 { qubits: vec![0], p: 0.05 });
+/// c.push(Op::measure_z([0], 0.0));
+/// c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+/// let counts = parallel_batches(&c, 10_000, 1024, 7, 2, |b| {
+///     b.count_detector_flips(0)
+/// });
+/// let total: u64 = counts.iter().sum();
+/// assert!(total > 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `shots == 0`, `batch_shots == 0` or `threads == 0`.
+pub fn parallel_batches<R, F>(
+    circuit: &Circuit,
+    shots: u64,
+    batch_shots: usize,
+    seed: u64,
+    threads: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&SampleBatch) -> R + Sync,
+{
+    assert!(shots > 0 && batch_shots > 0 && threads > 0);
+    let num_batches = shots.div_ceil(batch_shots as u64);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(num_batches as usize);
+    results.resize_with(num_batches as usize, || None);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let results_cell = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(num_batches as usize) {
+            scope.spawn(|| loop {
+                let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if b >= num_batches {
+                    break;
+                }
+                let this_shots = if b == num_batches - 1 {
+                    (shots - b * batch_shots as u64) as usize
+                } else {
+                    batch_shots
+                };
+                let batch = sample_batch(circuit, this_shots, mix_seed(seed, b));
+                let r = f(&batch);
+                results_cell.lock().expect("poisoned")[b as usize] = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all batches processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_circuit::{DetectorBasis, MeasRef, Op};
+
+    fn noisy_circuit() -> Circuit {
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::Depolarize1 {
+            qubits: vec![0],
+            p: 0.05,
+        });
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        c
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let c = noisy_circuit();
+        let one: u64 = parallel_batches(&c, 5000, 512, 42, 1, |b| b.count_detector_flips(0))
+            .iter()
+            .sum();
+        let four: u64 = parallel_batches(&c, 5000, 512, 42, 4, |b| b.count_detector_flips(0))
+            .iter()
+            .sum();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn total_shots_respected() {
+        let c = noisy_circuit();
+        let sizes = parallel_batches(&c, 1000, 300, 1, 2, |b| b.shots as u64);
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(sizes[3], 100);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = noisy_circuit();
+        let a: u64 = parallel_batches(&c, 20_000, 1024, 1, 2, |b| b.count_detector_flips(0))
+            .iter()
+            .sum();
+        let b: u64 = parallel_batches(&c, 20_000, 1024, 2, 2, |b| b.count_detector_flips(0))
+            .iter()
+            .sum();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,213 @@
+//! Tableau-based reference execution and determinism checking.
+
+use ftqc_circuit::{Circuit, Op};
+use ftqc_pauli::Tableau;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The result of one noiseless reference execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReferenceRun {
+    /// Detector parities, in declaration order.
+    pub detectors: Vec<bool>,
+    /// Observable parities, by observable index.
+    pub observables: Vec<bool>,
+}
+
+/// Runs `circuit` noiselessly on a stabilizer tableau, resolving random
+/// measurement branches with the seeded RNG, and returns the detector
+/// and observable parities.
+///
+/// Noise channels are skipped (they are noise, and this is the noiseless
+/// reference); measurement flip probabilities are ignored.
+pub fn run_reference(circuit: &Circuit, seed: u64) -> ReferenceRun {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = circuit.num_qubits().max(1) as usize;
+    let mut sim = Tableau::new(n);
+    let mut records: Vec<bool> = Vec::with_capacity(circuit.num_measurements() as usize);
+    let mut detectors = Vec::with_capacity(circuit.num_detectors() as usize);
+    let mut observables = vec![false; circuit.num_observables() as usize];
+    for op in circuit.ops() {
+        match op {
+            Op::H(qs) => qs.iter().for_each(|&q| sim.h(q as usize)),
+            Op::S(qs) => qs.iter().for_each(|&q| sim.s(q as usize)),
+            Op::X(qs) => qs
+                .iter()
+                .for_each(|&q| sim.pauli(q as usize, ftqc_pauli::Pauli::X)),
+            Op::Y(qs) => qs
+                .iter()
+                .for_each(|&q| sim.pauli(q as usize, ftqc_pauli::Pauli::Y)),
+            Op::Z(qs) => qs
+                .iter()
+                .for_each(|&q| sim.pauli(q as usize, ftqc_pauli::Pauli::Z)),
+            Op::Cx(pairs) => pairs.iter().for_each(|&(c, t)| sim.cx(c as usize, t as usize)),
+            Op::ResetZ(qs) => qs
+                .iter()
+                .for_each(|&q| sim.reset_z(q as usize, || rng.gen())),
+            Op::ResetX(qs) => qs
+                .iter()
+                .for_each(|&q| sim.reset_x(q as usize, || rng.gen())),
+            Op::MeasureZ { qubits, .. } => {
+                for &q in qubits {
+                    let (m, _) = sim.measure_z(q as usize, || rng.gen());
+                    records.push(m);
+                }
+            }
+            Op::MeasureX { qubits, .. } => {
+                for &q in qubits {
+                    let (m, _) = sim.measure_x(q as usize, || rng.gen());
+                    records.push(m);
+                }
+            }
+            Op::MeasureReset { qubits, .. } => {
+                for &q in qubits {
+                    let (m, _) = sim.measure_z(q as usize, || rng.gen());
+                    if m {
+                        sim.pauli(q as usize, ftqc_pauli::Pauli::X);
+                    }
+                    records.push(m);
+                }
+            }
+            Op::PauliChannel { .. } | Op::Depolarize1 { .. } | Op::Depolarize2 { .. } => {}
+            Op::Detector { records: refs, .. } => {
+                let parity = refs
+                    .iter()
+                    .fold(false, |acc, r| acc ^ records[r.0 as usize]);
+                detectors.push(parity);
+            }
+            Op::ObservableInclude {
+                observable,
+                records: refs,
+            } => {
+                for r in refs {
+                    observables[*observable as usize] ^= records[r.0 as usize];
+                }
+            }
+        }
+    }
+    ReferenceRun {
+        detectors,
+        observables,
+    }
+}
+
+/// Verifies that every detector and observable of `circuit` is
+/// deterministic under zero noise by executing the circuit `attempts`
+/// times with different random measurement branches and comparing
+/// parities.
+///
+/// This is a randomized check: a genuinely random parity agrees across
+/// all runs with probability `2^-(attempts-1)`, so 8 attempts catch a
+/// faulty detector with probability better than 99%.
+///
+/// # Errors
+///
+/// Returns a description of the first disagreeing detector or
+/// observable.
+pub fn verify_deterministic(circuit: &Circuit, attempts: u32) -> Result<(), String> {
+    assert!(attempts >= 2, "need at least two attempts to compare");
+    let first = run_reference(circuit, 0xD15EA5E);
+    for a in 1..attempts {
+        let run = run_reference(
+            circuit,
+            0xD15EA5Eu64.wrapping_add((a as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+        );
+        if let Some(d) = first
+            .detectors
+            .iter()
+            .zip(&run.detectors)
+            .position(|(x, y)| x != y)
+        {
+            return Err(format!(
+                "detector {d} is not deterministic (runs 0 and {a} disagree)"
+            ));
+        }
+        if let Some(o) = first
+            .observables
+            .iter()
+            .zip(&run.observables)
+            .position(|(x, y)| x != y)
+        {
+            return Err(format!(
+                "observable {o} is not deterministic (runs 0 and {a} disagree)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_circuit::{DetectorBasis, MeasRef};
+
+    #[test]
+    fn deterministic_circuit_passes() {
+        let mut c = Circuit::new(2);
+        c.push(Op::ResetZ(vec![0, 1]));
+        c.push(Op::h([0]));
+        c.push(Op::cx([(0, 1)]));
+        c.push(Op::measure_z([0, 1], 0.0));
+        c.push(Op::detector([MeasRef(0), MeasRef(1)], DetectorBasis::Z));
+        verify_deterministic(&c, 8).unwrap();
+    }
+
+    #[test]
+    fn random_detector_fails() {
+        // A detector on a single Bell-pair measurement is random.
+        let mut c = Circuit::new(2);
+        c.push(Op::ResetZ(vec![0, 1]));
+        c.push(Op::h([0]));
+        c.push(Op::cx([(0, 1)]));
+        c.push(Op::measure_z([0, 1], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        assert!(verify_deterministic(&c, 12).is_err());
+    }
+
+    #[test]
+    fn random_observable_fails() {
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::h([0]));
+        c.push(Op::measure_z([0], 0.0));
+        c.push(Op::ObservableInclude {
+            observable: 0,
+            records: vec![MeasRef(0)],
+        });
+        assert!(verify_deterministic(&c, 12).is_err());
+    }
+
+    #[test]
+    fn noise_channels_ignored_by_reference() {
+        let mut c = Circuit::new(1);
+        c.push(Op::ResetZ(vec![0]));
+        c.push(Op::Depolarize1 {
+            qubits: vec![0],
+            p: 1.0,
+        });
+        c.push(Op::measure_z([0], 0.5));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        verify_deterministic(&c, 4).unwrap();
+        let run = run_reference(&c, 3);
+        assert_eq!(run.detectors, vec![false]);
+    }
+
+    #[test]
+    fn plus_state_x_stabilizer_round_pair_deterministic() {
+        // Two rounds of an X-stabilizer measurement via ancilla: the two
+        // outcomes agree, so the pair detector is deterministic even
+        // though each round alone is random.
+        let mut c = Circuit::new(3);
+        c.push(Op::ResetZ(vec![0, 1, 2]));
+        for _ in 0..2 {
+            c.push(Op::ResetZ(vec![2]));
+            c.push(Op::h([2]));
+            c.push(Op::cx([(2, 0)]));
+            c.push(Op::cx([(2, 1)]));
+            c.push(Op::h([2]));
+            c.push(Op::measure_z([2], 0.0));
+        }
+        c.push(Op::detector([MeasRef(0), MeasRef(1)], DetectorBasis::X));
+        verify_deterministic(&c, 8).unwrap();
+    }
+}

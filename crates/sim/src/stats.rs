@@ -1,0 +1,143 @@
+//! Logical-error-rate statistics.
+
+use std::fmt;
+
+/// A binomial success-count estimate (e.g. logical errors over shots).
+///
+/// # Example
+///
+/// ```
+/// use ftqc_sim::BinomialEstimate;
+///
+/// let e = BinomialEstimate::new(278, 100_000);
+/// assert!((e.rate() - 2.78e-3).abs() < 1e-12);
+/// let (lo, hi) = e.wilson_interval(1.96);
+/// assert!(lo < e.rate() && e.rate() < hi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinomialEstimate {
+    successes: u64,
+    trials: u64,
+}
+
+impl BinomialEstimate {
+    /// Creates an estimate from `successes` out of `trials`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `successes > trials`.
+    pub fn new(successes: u64, trials: u64) -> BinomialEstimate {
+        assert!(trials > 0, "at least one trial required");
+        assert!(successes <= trials, "more successes than trials");
+        BinomialEstimate { successes, trials }
+    }
+
+    /// Number of observed successes.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Point estimate of the success probability.
+    pub fn rate(&self) -> f64 {
+        self.successes as f64 / self.trials as f64
+    }
+
+    /// Standard error of the point estimate.
+    pub fn std_err(&self) -> f64 {
+        let p = self.rate();
+        (p * (1.0 - p) / self.trials as f64).sqrt()
+    }
+
+    /// Wilson score interval at `z` standard deviations (1.96 for 95%).
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Merges two independent estimates over the same process.
+    pub fn merged(&self, other: &BinomialEstimate) -> BinomialEstimate {
+        BinomialEstimate::new(
+            self.successes + other.successes,
+            self.trials + other.trials,
+        )
+    }
+
+    /// The ratio `self.rate() / other.rate()` (the paper's "Reduction"
+    /// metric when `self` is Passive and `other` is Active). Returns
+    /// `f64::NAN` when `other` observed zero successes.
+    pub fn ratio(&self, other: &BinomialEstimate) -> f64 {
+        if other.successes == 0 {
+            return f64::NAN;
+        }
+        self.rate() / other.rate()
+    }
+}
+
+impl fmt::Display for BinomialEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} = {:.3e} ± {:.1e}",
+            self.successes,
+            self.trials,
+            self.rate(),
+            self.std_err()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_and_std_err() {
+        let e = BinomialEstimate::new(50, 1000);
+        assert!((e.rate() - 0.05).abs() < 1e-12);
+        assert!((e.std_err() - (0.05f64 * 0.95 / 1000.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate() {
+        for &(s, n) in &[(0u64, 100u64), (1, 100), (50, 100), (100, 100)] {
+            let e = BinomialEstimate::new(s, n);
+            let (lo, hi) = e.wilson_interval(1.96);
+            assert!(lo <= e.rate() + 1e-12 && e.rate() <= hi + 1e-12);
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = BinomialEstimate::new(3, 100);
+        let b = BinomialEstimate::new(7, 300);
+        let m = a.merged(&b);
+        assert_eq!(m.successes(), 10);
+        assert_eq!(m.trials(), 400);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        let a = BinomialEstimate::new(10, 100);
+        let b = BinomialEstimate::new(0, 100);
+        assert!(a.ratio(&b).is_nan());
+        let c = BinomialEstimate::new(5, 100);
+        assert!((a.ratio(&c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        BinomialEstimate::new(0, 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Rotated surface code lattice geometry.
+//!
+//! Coordinates follow the usual rotated-code picture: data qubits live
+//! at odd-odd positions `(2i+1, 2j+1)` for data column `i` and row `j`,
+//! and stabilizer measure qubits at even-even positions `(2a, 2b)`.
+//! The checkerboard parity of `(a + b)` splits the measure qubits into
+//! two roles:
+//!
+//! * **odd checks** (`(a + b)` odd) — the "merge type": they host the
+//!   top/bottom boundary half-checks, their vertical string is the
+//!   logical that Lattice Surgery multiplies (`X` type for the paper's
+//!   Z-basis surgery, `Z` type for X-basis surgery), and the *new*
+//!   stabilizers created along a merge seam are exactly of this type;
+//! * **even checks** (`(a + b)` even) — they host the left/right
+//!   boundary half-checks and get *extended* across the seam at merge
+//!   time.
+//!
+//! A [`Lattice`] enumerates the measure qubits of a rectangular region
+//! of data columns; the Lattice Surgery builder uses three regions: the
+//! left patch `P`, the right patch `P'` and the merged patch spanning
+//! both plus the one-column buffer.
+
+/// The checkerboard role of a stabilizer (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StabKind {
+    /// `(a + b)` odd: merge-type checks (top/bottom half-checks, new
+    /// seam stabilizers, vertical logical strings).
+    Odd,
+    /// `(a + b)` even: left/right half-checks, extended at merges.
+    Even,
+}
+
+/// A stabilizer measure qubit of a patch region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ancilla {
+    /// Ancilla grid coordinate `a` (x = 2a).
+    pub a: u32,
+    /// Ancilla grid coordinate `b` (y = 2b).
+    pub b: u32,
+    /// Checkerboard role.
+    pub kind: StabKind,
+    /// Data-qubit `(column, row)` neighbours inside the region, in
+    /// fixed corner order `(NE, NW, SE, SW)` relative to the ancilla —
+    /// entries are `None` where the neighbour falls outside the region.
+    pub neighbors: [Option<(u32, u32)>; 4],
+}
+
+impl Ancilla {
+    /// Number of data-qubit neighbours inside the region.
+    pub fn degree(&self) -> usize {
+        self.neighbors.iter().flatten().count()
+    }
+
+    /// Neighbours present, in corner order.
+    pub fn support(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.neighbors.iter().flatten().copied()
+    }
+}
+
+/// A rectangular rotated-lattice region of data columns
+/// `col_lo ..= col_hi` with `d` data rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lattice {
+    /// Code distance: number of data rows (and columns per patch).
+    pub d: u32,
+    /// First data column of the region.
+    pub col_lo: u32,
+    /// Last data column of the region.
+    pub col_hi: u32,
+}
+
+impl Lattice {
+    /// A single-patch region of `d` columns starting at `col_lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d` is even or zero (rotated codes need odd `d`).
+    pub fn patch(d: u32, col_lo: u32) -> Lattice {
+        assert!(d % 2 == 1, "code distance must be odd, got {d}");
+        Lattice {
+            d,
+            col_lo,
+            col_hi: col_lo + d - 1,
+        }
+    }
+
+    /// The merged region spanning two distance-`d` patches and the
+    /// buffer column between them: columns `0 ..= 2d`.
+    pub fn merged(d: u32) -> Lattice {
+        assert!(d % 2 == 1, "code distance must be odd, got {d}");
+        Lattice {
+            d,
+            col_lo: 0,
+            col_hi: 2 * d,
+        }
+    }
+
+    /// Data `(column, row)` pairs of the region, column-major.
+    pub fn data_coords(&self) -> Vec<(u32, u32)> {
+        let mut v = Vec::new();
+        for i in self.col_lo..=self.col_hi {
+            for j in 0..self.d {
+                v.push((i, j));
+            }
+        }
+        v
+    }
+
+    /// Checkerboard role of the measure-qubit candidate at `(a, b)`.
+    pub fn kind_of(a: u32, b: u32) -> StabKind {
+        if (a + b) % 2 == 1 {
+            StabKind::Odd
+        } else {
+            StabKind::Even
+        }
+    }
+
+    /// The stabilizer measure qubits of the region, with their in-region
+    /// supports. Implements the rotated-code boundary rules: interior
+    /// candidates (degree 4) are always present; degree-2 candidates on
+    /// the top/bottom boundary must be [`StabKind::Odd`], on the
+    /// left/right boundary [`StabKind::Even`]; corners are absent.
+    pub fn ancillas(&self) -> Vec<Ancilla> {
+        let mut out = Vec::new();
+        for a in self.col_lo..=self.col_hi + 1 {
+            for b in 0..=self.d {
+                let kind = Lattice::kind_of(a, b);
+                // Corner order (NE, NW, SE, SW) in (col, row) space:
+                // (a, b-1), (a-1, b-1), (a, b), (a-1, b) are the data
+                // cells diagonally adjacent to ancilla corner (a, b).
+                let cand = [
+                    (a as i64, b as i64 - 1),
+                    (a as i64 - 1, b as i64 - 1),
+                    (a as i64, b as i64),
+                    (a as i64 - 1, b as i64),
+                ];
+                let mut neighbors = [None; 4];
+                let mut degree = 0;
+                for (slot, (ci, rj)) in cand.iter().enumerate() {
+                    if *ci >= self.col_lo as i64
+                        && *ci <= self.col_hi as i64
+                        && *rj >= 0
+                        && *rj < self.d as i64
+                    {
+                        neighbors[slot] = Some((*ci as u32, *rj as u32));
+                        degree += 1;
+                    }
+                }
+                let present = match degree {
+                    4 => true,
+                    2 => {
+                        let on_vertical_boundary = a == self.col_lo || a == self.col_hi + 1;
+                        let on_horizontal_boundary = b == 0 || b == self.d;
+                        if on_horizontal_boundary && !on_vertical_boundary {
+                            kind == StabKind::Odd
+                        } else if on_vertical_boundary && !on_horizontal_boundary {
+                            kind == StabKind::Even
+                        } else {
+                            false
+                        }
+                    }
+                    _ => false,
+                };
+                if present {
+                    out.push(Ancilla {
+                        a,
+                        b,
+                        kind,
+                        neighbors,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_stabilizer_count_is_d_squared_minus_one() {
+        for d in [3u32, 5, 7] {
+            let l = Lattice::patch(d, 0);
+            assert_eq!(l.ancillas().len() as u32, d * d - 1, "d = {d}");
+            assert_eq!(l.data_coords().len() as u32, d * d);
+        }
+    }
+
+    #[test]
+    fn merged_region_is_a_valid_rotated_code() {
+        let d = 3;
+        let l = Lattice::merged(d);
+        let w = 2 * d + 1;
+        assert_eq!(l.data_coords().len() as u32, d * w);
+        assert_eq!(l.ancillas().len() as u32, d * w - 1);
+    }
+
+    #[test]
+    fn kinds_balance() {
+        let l = Lattice::patch(5, 0);
+        let anc = l.ancillas();
+        let odd = anc.iter().filter(|a| a.kind == StabKind::Odd).count();
+        let even = anc.iter().filter(|a| a.kind == StabKind::Even).count();
+        assert_eq!(odd + even, 24);
+        assert_eq!(odd, 12);
+        assert_eq!(even, 12);
+    }
+
+    #[test]
+    fn boundary_roles() {
+        let d = 5;
+        let l = Lattice::patch(d, 0);
+        for anc in l.ancillas() {
+            match anc.degree() {
+                4 => {
+                    assert!(anc.a >= 1 && anc.a <= d - 1 + 1);
+                }
+                2 => {
+                    if anc.b == 0 || anc.b == d {
+                        assert_eq!(anc.kind, StabKind::Odd, "top/bottom host odd checks");
+                    } else {
+                        assert_eq!(anc.kind, StabKind::Even, "left/right host even checks");
+                        assert!(anc.a == 0 || anc.a == d);
+                    }
+                }
+                deg => panic!("unexpected degree {deg}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stabilizers_commute_pairwise() {
+        // Odd and even checks overlap on 0 or 2 data qubits.
+        let l = Lattice::merged(3);
+        let anc = l.ancillas();
+        for x in anc.iter().filter(|a| a.kind == StabKind::Odd) {
+            for z in anc.iter().filter(|a| a.kind == StabKind::Even) {
+                let overlap = x
+                    .support()
+                    .filter(|q| z.support().any(|p| p == *q))
+                    .count();
+                assert!(
+                    overlap % 2 == 0,
+                    "anticommuting pair at ({},{}) / ({},{})",
+                    x.a,
+                    x.b,
+                    z.a,
+                    z.b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seam_structure_between_patches() {
+        // New-at-merge ancillas are exactly the odd-kind ones of the
+        // seam; even-kind seam ancillas exist pre-merge as half-checks
+        // and get extended.
+        let d = 3;
+        let p = Lattice::patch(d, 0);
+        let q = Lattice::patch(d, d + 1);
+        let m = Lattice::merged(d);
+        let pre: Vec<(u32, u32)> = p
+            .ancillas()
+            .iter()
+            .chain(q.ancillas().iter())
+            .map(|a| (a.a, a.b))
+            .collect();
+        let mut new_odd = 0;
+        let mut new_even = 0;
+        for anc in m.ancillas() {
+            if !pre.contains(&(anc.a, anc.b)) {
+                match anc.kind {
+                    StabKind::Odd => new_odd += 1,
+                    StabKind::Even => new_even += 1,
+                }
+                assert!(anc.a == d || anc.a == d + 1, "new checks sit on the seam");
+            }
+        }
+        assert_eq!(new_even, 0, "even checks are extended, never new");
+        assert_eq!(new_odd as u32, d + 1, "d + 1 new merge-type checks");
+    }
+
+    #[test]
+    fn extended_seam_checks_change_degree() {
+        let d = 3;
+        let p = Lattice::patch(d, 0);
+        let m = Lattice::merged(d);
+        // P's right-boundary half-checks at a = d have degree 2 in P and
+        // degree 4 in the merged region.
+        for anc in p.ancillas().iter().filter(|a| a.a == d) {
+            assert_eq!(anc.degree(), 2);
+            let merged = m
+                .ancillas()
+                .into_iter()
+                .find(|x| (x.a, x.b) == (anc.a, anc.b))
+                .expect("survives the merge");
+            assert_eq!(merged.degree(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_distance_rejected() {
+        Lattice::patch(4, 0);
+    }
+}

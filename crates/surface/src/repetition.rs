@@ -1,0 +1,175 @@
+//! The three-qubit repetition code of paper Fig. 1(c).
+
+use ftqc_circuit::{DetectorBasis, MeasRef, Op, Schedule};
+use ftqc_noise::HardwareConfig;
+
+/// Configuration of the repetition-code idling experiment the paper ran
+/// on IBM Sherbrooke (Fig. 1c): a three-qubit bit-flip code executes
+/// `rounds` rounds of syndrome measurement with an idle period inserted
+/// before the final round, and the logical error rate is measured as a
+/// function of that idle period.
+#[derive(Debug, Clone)]
+pub struct RepetitionConfig {
+    /// Syndrome measurement rounds (the paper uses 2).
+    pub rounds: u32,
+    /// Idle inserted before the final round, nanoseconds.
+    pub idle_before_final_ns: f64,
+    /// Hardware timing and coherence parameters.
+    pub hardware: HardwareConfig,
+    /// Prepare the `|1>_L = |111>` logical observable instead of
+    /// `|0>_L` (under the symmetric Pauli-twirl idle model both decay
+    /// identically; the hardware asymmetry of Fig. 1c comes from
+    /// amplitude damping, see DESIGN.md).
+    pub logical_one: bool,
+}
+
+impl RepetitionConfig {
+    /// The paper's two-round experiment with the given idle period.
+    pub fn new(hardware: &HardwareConfig, idle_before_final_ns: f64) -> RepetitionConfig {
+        RepetitionConfig {
+            rounds: 2,
+            idle_before_final_ns,
+            hardware: hardware.clone(),
+            logical_one: false,
+        }
+    }
+
+    /// Builds the timed schedule (see [`repetition_code_schedule`]).
+    pub fn build(&self) -> Schedule {
+        repetition_code_schedule(self)
+    }
+}
+
+/// Builds the three-qubit repetition-code schedule. Qubits 0–2 are
+/// data, 3–4 are the `Z0 Z1` / `Z1 Z2` ancillas; observable 0 is the
+/// logical `Z` readout.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0` or the idle period is negative.
+pub fn repetition_code_schedule(cfg: &RepetitionConfig) -> Schedule {
+    assert!(cfg.rounds > 0, "at least one round required");
+    assert!(cfg.idle_before_final_ns >= 0.0, "idle must be non-negative");
+    let hw = &cfg.hardware;
+    let mut s = Schedule::new(5);
+    let (d0, d1, d2, a0, a1) = (0u32, 1, 2, 3, 4);
+    let mut t = 0.0;
+    s.push(t, hw.reset_ns, Op::ResetZ(vec![d0, d1, d2, a0, a1]));
+    t += hw.reset_ns;
+    if cfg.logical_one {
+        s.push(t, hw.gate_1q_ns, Op::X(vec![d0, d1, d2]));
+        t += hw.gate_1q_ns;
+    }
+    let mut rec = 0u32;
+    let mut last = [MeasRef(0), MeasRef(0)];
+    for r in 0..cfg.rounds {
+        if r + 1 == cfg.rounds {
+            t += cfg.idle_before_final_ns;
+        }
+        s.push(t, hw.gate_2q_ns, Op::cx([(d0, a0), (d1, a1)]));
+        t += hw.gate_2q_ns;
+        s.push(t, hw.gate_2q_ns, Op::cx([(d1, a0), (d2, a1)]));
+        t += hw.gate_2q_ns;
+        s.push(
+            t,
+            hw.readout_ns + hw.reset_ns,
+            Op::measure_reset([a0, a1], 0.0),
+        );
+        t += hw.readout_ns + hw.reset_ns;
+        for k in 0..2u32 {
+            let this = MeasRef(rec + k);
+            let records = if r == 0 {
+                vec![this]
+            } else {
+                vec![last[k as usize], this]
+            };
+            s.push(
+                t,
+                0.0,
+                Op::Detector {
+                    records,
+                    basis: DetectorBasis::Z,
+                    coords: [k as f64, 0.0, r as f64],
+                },
+            );
+            last[k as usize] = this;
+        }
+        rec += 2;
+    }
+    // Destructive data readout: final parity detectors + logical Z.
+    s.push(t, hw.readout_ns, Op::measure_z([d0, d1, d2], 0.0));
+    let (r0, r1, r2) = (MeasRef(rec), MeasRef(rec + 1), MeasRef(rec + 2));
+    let t_end = t + hw.readout_ns;
+    s.push(
+        t_end,
+        0.0,
+        Op::Detector {
+            records: vec![r0, r1, last[0]],
+            basis: DetectorBasis::Z,
+            coords: [0.0, 0.0, cfg.rounds as f64],
+        },
+    );
+    s.push(
+        t_end,
+        0.0,
+        Op::Detector {
+            records: vec![r1, r2, last[1]],
+            basis: DetectorBasis::Z,
+            coords: [1.0, 0.0, cfg.rounds as f64],
+        },
+    );
+    s.push(
+        t_end,
+        0.0,
+        Op::ObservableInclude {
+            observable: 0,
+            records: vec![r0],
+        },
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_noise::CircuitNoiseModel;
+    use ftqc_sim::{sample_batch, verify_deterministic};
+
+    #[test]
+    fn deterministic_without_noise() {
+        for logical_one in [false, true] {
+            let mut cfg = RepetitionConfig::new(&HardwareConfig::ibm(), 400.0);
+            cfg.logical_one = logical_one;
+            let c = CircuitNoiseModel::ideal().apply(&cfg.build());
+            c.validate().unwrap();
+            verify_deterministic(&c, 6).unwrap();
+        }
+    }
+
+    #[test]
+    fn idle_period_increases_error_rate() {
+        let hw = HardwareConfig::google();
+        let model = CircuitNoiseModel::standard(1e-3, &hw);
+        let rate = |idle: f64| {
+            let cfg = RepetitionConfig::new(&hw, idle);
+            let c = model.apply(&cfg.build());
+            let b = sample_batch(&c, 20_000, 7);
+            (0..b.shots).filter(|&s| b.observable(0, s)).count() as f64 / b.shots as f64
+        };
+        let short = rate(0.0);
+        let long = rate(5_000.0);
+        assert!(
+            long > short,
+            "idling must raise the raw flip rate ({short} vs {long})"
+        );
+    }
+
+    #[test]
+    fn more_rounds_more_records() {
+        let mut cfg = RepetitionConfig::new(&HardwareConfig::ibm(), 0.0);
+        cfg.rounds = 5;
+        let c = CircuitNoiseModel::ideal().apply(&cfg.build());
+        assert_eq!(c.num_measurements(), 5 * 2 + 3);
+        assert_eq!(c.num_detectors(), 5 * 2 + 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! Estimate how often a fault-tolerant program needs synchronized
+//! Lattice Surgery (paper Fig. 3c), from QASM parsing through logical
+//! resource estimation.
+//!
+//! ```text
+//! cargo run --release --example workload_estimation
+//! ```
+
+use ftqc::estimator::{workloads, LogicalEstimate};
+use ftqc::qasm::Program;
+
+fn main() {
+    // Any OpenQASM 2 source works; here we use the built-in catalog.
+    println!(
+        "{:<15} {:>8} {:>10} {:>10} {:>11} {:>6}",
+        "workload", "T count", "cycles", "sync/cycle", "phys qubits", "d"
+    );
+    for w in workloads::catalog() {
+        let est = LogicalEstimate::for_workload(&w, 1e-3, 1e-2);
+        println!(
+            "{:<15} {:>8} {:>10} {:>10.2} {:>11} {:>6}",
+            w.name,
+            est.magic_states,
+            est.logical_cycles,
+            est.syncs_per_cycle,
+            est.physical_qubits,
+            est.code_distance
+        );
+    }
+
+    // The parser handles external circuits too.
+    let custom = r#"
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[4];
+        h q[0];
+        ccx q[0], q[1], q[2];
+        rz(0.41) q[3];
+        cx q[2], q[3];
+    "#;
+    let analysis = Program::parse(custom).expect("valid QASM").analyze(1e-10);
+    println!(
+        "\ncustom circuit: {} gates, {} T gates, depth {}",
+        analysis.gate_count, analysis.t_count, analysis.depth
+    );
+}

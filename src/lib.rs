@@ -1,0 +1,56 @@
+//! # lattice-sync
+//!
+//! A from-scratch Rust reproduction of *Synchronization for
+//! Fault-Tolerant Quantum Computers* (ISCA 2025): surface-code Lattice
+//! Surgery simulation with timing-aware noise, the Passive / Active /
+//! Active-intra / Extra-Rounds / Hybrid synchronization policies, the
+//! runtime synchronization microarchitecture, a full decoding stack
+//! (union-find, MWPM, LUT, hierarchical), and a reproduction harness
+//! for every table and figure in the paper.
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`pauli`] | `ftqc-pauli` | Pauli algebra, stabilizer tableau |
+//! | [`circuit`] | `ftqc-circuit` | timed stabilizer-circuit IR |
+//! | [`noise`] | `ftqc-noise` | hardware configs, idle + gate noise |
+//! | [`sim`] | `ftqc-sim` | frame sampler, detector error models |
+//! | [`surface`] | `ftqc-surface` | rotated patches, Lattice Surgery |
+//! | [`decoder`] | `ftqc-decoder` | UF / MWPM / LUT / hierarchical |
+//! | [`sync`] | `ftqc-sync` | **the paper's synchronization policies** |
+//! | [`qasm`] | `ftqc-qasm` | OpenQASM 2 front end |
+//! | [`estimator`] | `ftqc-estimator` | QRE-style resource estimation |
+//! | [`experiments`] | `ftqc-experiments` | per-figure reproduction |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ftqc::noise::{CircuitNoiseModel, HardwareConfig};
+//! use ftqc::surface::LatticeSurgeryConfig;
+//! use ftqc::sync::{plan_sync, SyncPolicy};
+//! use ftqc::sim::DetectorErrorModel;
+//! use ftqc::decoder::{evaluate_ler, DecodingGraph, UfDecoder};
+//!
+//! // Two d=3 patches, desynchronized by 500 ns, Active policy.
+//! let hw = HardwareConfig::ibm();
+//! let t = hw.cycle_time_ns();
+//! let mut cfg = LatticeSurgeryConfig::new(3, &hw);
+//! cfg.plan = plan_sync(SyncPolicy::Active, 500.0, t, t, 4).unwrap();
+//! let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&cfg.build());
+//! let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+//! let decoder = UfDecoder::new(DecodingGraph::from_dem(&dem));
+//! let ler = evaluate_ler(&circuit, &decoder, 2_000, 512, 7, 2);
+//! println!("X_P X_P' logical error rate: {}", ler[2]);
+//! ```
+
+pub use ftqc_circuit as circuit;
+pub use ftqc_decoder as decoder;
+pub use ftqc_estimator as estimator;
+pub use ftqc_experiments as experiments;
+pub use ftqc_noise as noise;
+pub use ftqc_pauli as pauli;
+pub use ftqc_qasm as qasm;
+pub use ftqc_sim as sim;
+pub use ftqc_surface as surface;
+pub use ftqc_sync as sync;

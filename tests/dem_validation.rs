@@ -1,0 +1,95 @@
+//! Cross-validation: the detector error model must predict the frame
+//! sampler's detector statistics, and generated circuits must
+//! round-trip through the text format.
+
+use ftqc::circuit::Circuit;
+use ftqc::noise::{CircuitNoiseModel, HardwareConfig};
+use ftqc::sim::{sample_batch, DetectorErrorModel};
+use ftqc::surface::{LatticeSurgeryConfig, MemoryConfig};
+
+/// Exact marginal flip probability of each detector according to the
+/// DEM: detectors flip when an odd number of their mechanisms fire,
+/// and mechanisms are independent.
+fn dem_marginals(circuit: &Circuit, decompose: bool) -> Vec<f64> {
+    let (dem, _) = DetectorErrorModel::from_circuit(circuit, decompose);
+    let mut p = vec![0.0f64; dem.num_detectors()];
+    for m in dem.mechanisms() {
+        for &d in &m.detectors {
+            let old = p[d as usize];
+            p[d as usize] = old * (1.0 - m.probability) + m.probability * (1.0 - old);
+        }
+    }
+    p
+}
+
+#[test]
+fn dem_predicts_sampler_marginals_on_memory_circuit() {
+    let hw = HardwareConfig::google();
+    let circuit =
+        CircuitNoiseModel::standard(2e-3, &hw).apply(&MemoryConfig::new(3, 4, &hw).build());
+    // Use the undecomposed DEM: it is exact (the CSS-decomposed one
+    // treats Y components as two independent events).
+    let predicted = dem_marginals(&circuit, false);
+    let shots = 200_000usize;
+    let batch = sample_batch(&circuit, shots, 31);
+    for (d, &p) in predicted.iter().enumerate() {
+        let observed = batch.count_detector_flips(d) as f64 / shots as f64;
+        let sigma = (p * (1.0 - p) / shots as f64).sqrt().max(1e-6);
+        assert!(
+            (observed - p).abs() < 6.0 * sigma + 1e-3,
+            "detector {d}: predicted {p:.5}, observed {observed:.5}"
+        );
+    }
+}
+
+#[test]
+fn dem_predicts_sampler_marginals_on_surgery_circuit() {
+    let hw = HardwareConfig::ibm();
+    let circuit = CircuitNoiseModel::standard(1e-3, &hw)
+        .apply(&LatticeSurgeryConfig::new(3, &hw).build());
+    let predicted = dem_marginals(&circuit, false);
+    let shots = 100_000usize;
+    let batch = sample_batch(&circuit, shots, 77);
+    let mut checked = 0;
+    for (d, &p) in predicted.iter().enumerate() {
+        let observed = batch.count_detector_flips(d) as f64 / shots as f64;
+        let sigma = (p * (1.0 - p) / shots as f64).sqrt().max(1e-6);
+        assert!(
+            (observed - p).abs() < 6.0 * sigma + 2e-3,
+            "detector {d}: predicted {p:.5}, observed {observed:.5}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 50, "expected a nontrivial detector count");
+}
+
+#[test]
+fn decomposed_dem_approximates_exact_marginals() {
+    // CSS decomposition splits Y errors into independent X and Z parts;
+    // marginals must stay within the Y-correlation error (second
+    // order).
+    let hw = HardwareConfig::ibm();
+    let circuit = CircuitNoiseModel::standard(1e-3, &hw)
+        .apply(&MemoryConfig::new(3, 4, &hw).build());
+    let exact = dem_marginals(&circuit, false);
+    let approx = dem_marginals(&circuit, true);
+    for (d, (e, a)) in exact.iter().zip(&approx).enumerate() {
+        assert!(
+            (e - a).abs() < 0.15 * e.max(1e-4),
+            "detector {d}: exact {e:.5} vs decomposed {a:.5}"
+        );
+    }
+}
+
+#[test]
+fn generated_surgery_circuit_roundtrips_through_text() {
+    let hw = HardwareConfig::ibm();
+    let circuit = CircuitNoiseModel::standard(1e-3, &hw)
+        .apply(&LatticeSurgeryConfig::new(3, &hw).build());
+    let text = circuit.to_string();
+    let back = Circuit::parse(&text).expect("parses");
+    assert_eq!(back.to_string(), text);
+    assert_eq!(back.num_detectors(), circuit.num_detectors());
+    assert_eq!(back.num_measurements(), circuit.num_measurements());
+    assert_eq!(back.num_observables(), circuit.num_observables());
+}

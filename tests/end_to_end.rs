@@ -1,0 +1,104 @@
+//! Cross-crate integration tests: from policy planning through circuit
+//! generation, noise, sampling and decoding.
+
+use ftqc::decoder::{evaluate_ler, DecodingGraph, MwpmDecoder, UfDecoder};
+use ftqc::noise::{CircuitNoiseModel, HardwareConfig};
+use ftqc::sim::{verify_deterministic, DetectorErrorModel};
+use ftqc::surface::{LatticeSurgeryConfig, LsBasis, MemoryConfig, OBS_MERGED};
+use ftqc::sync::{plan_sync, Controller, SyncPolicy};
+
+#[test]
+fn every_policy_yields_valid_deterministic_circuits() {
+    let hw = HardwareConfig::ibm();
+    let t = hw.cycle_time_ns();
+    let policies: Vec<(SyncPolicy, f64, f64)> = vec![
+        (SyncPolicy::Passive, t, t),
+        (SyncPolicy::Active, t, t),
+        (SyncPolicy::ActiveIntra, t, t),
+        (SyncPolicy::ExtraRounds, 1000.0, 1150.0),
+        (SyncPolicy::hybrid(400.0), 1000.0, 1325.0),
+    ];
+    for (policy, tp, tpp) in policies {
+        for basis in [LsBasis::Z, LsBasis::X] {
+            let mut cfg = LatticeSurgeryConfig::new(3, &hw);
+            cfg.basis = basis;
+            cfg.plan = plan_sync(policy, 800.0, tp, tpp, 4).expect("plannable");
+            cfg.lagging_round_stretch_ns = (tpp - tp).max(0.0);
+            let circuit = CircuitNoiseModel::ideal().apply(&cfg.build());
+            circuit.validate().expect("structurally valid");
+            verify_deterministic(&circuit, 6)
+                .unwrap_or_else(|e| panic!("{policy} / {basis:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn controller_schedule_matches_circuit_plan_totals() {
+    // The discrete-event controller and the circuit generator must
+    // agree on how much time a plan inserts.
+    let plan = plan_sync(SyncPolicy::hybrid(400.0), 1000.0, 1000.0, 1325.0, 8).unwrap();
+    assert_eq!(plan.extra_rounds, 4);
+    let mut ctl = Controller::new();
+    let a = ctl.add_patch(1000, 0);
+    let b = ctl.add_patch(1325, 325);
+    let tick = ctl.synchronize(&[a, b], SyncPolicy::hybrid(400.0), 8).unwrap();
+    assert_eq!(ctl.status(a).unwrap().cycle_end_tick, tick);
+    assert_eq!(ctl.status(b).unwrap().cycle_end_tick, tick);
+}
+
+#[test]
+fn dem_is_graphlike_for_all_experiment_circuits() {
+    let hw = HardwareConfig::google();
+    for d in [3u32, 5] {
+        for basis in [LsBasis::Z, LsBasis::X] {
+            let mut cfg = LatticeSurgeryConfig::new(d, &hw);
+            cfg.basis = basis;
+            let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&cfg.build());
+            let (_, stats) = DetectorErrorModel::from_circuit(&circuit, true);
+            assert_eq!(
+                stats.dropped_hyperedges, 0,
+                "d={d} {basis:?}: non-graphlike mechanisms"
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_ler_improves_with_distance_for_both_decoders() {
+    let hw = HardwareConfig::ibm();
+    let model = CircuitNoiseModel::standard(1e-3, &hw);
+    let mut rates = Vec::new();
+    for d in [3u32, 5] {
+        let circuit = model.apply(&MemoryConfig::new(d, d + 1, &hw).build());
+        let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+        let graph = DecodingGraph::from_dem(&dem);
+        let uf = evaluate_ler(&circuit, &UfDecoder::new(graph.clone()), 25_000, 1024, 3, 2);
+        let mw = evaluate_ler(&circuit, &MwpmDecoder::new(graph), 25_000, 1024, 3, 2);
+        rates.push((uf[0].rate(), mw[0].rate()));
+    }
+    assert!(rates[1].0 < rates[0].0, "UF: d=5 {} vs d=3 {}", rates[1].0, rates[0].0);
+    assert!(rates[1].1 < rates[0].1, "MWPM: d=5 {} vs d=3 {}", rates[1].1, rates[0].1);
+}
+
+#[test]
+fn slack_hurts_and_sync_policies_recover() {
+    // The core claim, end to end at small scale: ideal <= active and
+    // active <= passive (with statistical slack).
+    let hw = HardwareConfig::google();
+    let t = hw.cycle_time_ns();
+    let shots = 30_000;
+    let run = |policy: SyncPolicy, tau: f64, seed: u64| {
+        let mut cfg = LatticeSurgeryConfig::new(3, &hw);
+        cfg.plan = plan_sync(policy, tau, t, t, 4).unwrap();
+        let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&cfg.build());
+        let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+        let dec = UfDecoder::new(DecodingGraph::from_dem(&dem));
+        evaluate_ler(&circuit, &dec, shots, 1024, seed, 2)[OBS_MERGED as usize].rate()
+    };
+    let ideal = run(SyncPolicy::Passive, 0.0, 1);
+    let passive = run(SyncPolicy::Passive, 1000.0, 1);
+    assert!(
+        passive > ideal,
+        "slack must cost fidelity: ideal {ideal} vs passive {passive}"
+    );
+}

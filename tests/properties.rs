@@ -1,0 +1,115 @@
+//! Property-based tests over the core invariants.
+
+use ftqc::pauli::{Pauli, PauliString};
+use ftqc::sync::{plan_sync, solve_extra_rounds, solve_hybrid, SyncPolicy};
+use proptest::prelude::*;
+
+fn arb_pauli() -> impl Strategy<Value = Pauli> {
+    prop_oneof![
+        Just(Pauli::I),
+        Just(Pauli::X),
+        Just(Pauli::Y),
+        Just(Pauli::Z)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn pauli_product_is_associative(a in arb_pauli(), b in arb_pauli(), c in arb_pauli()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn pauli_self_inverse(a in arb_pauli()) {
+        prop_assert_eq!(a * a, Pauli::I);
+    }
+
+    #[test]
+    fn string_commutation_is_symmetric(
+        pairs_a in proptest::collection::vec((0u32..16, arb_pauli()), 0..8),
+        pairs_b in proptest::collection::vec((0u32..16, arb_pauli()), 0..8),
+    ) {
+        let a = PauliString::from_pairs(16, pairs_a.iter().map(|&(q, p)| (q as usize, p)));
+        let b = PauliString::from_pairs(16, pairs_b.iter().map(|&(q, p)| (q as usize, p)));
+        prop_assert_eq!(a.commutes(&b), b.commutes(&a));
+    }
+
+    #[test]
+    fn string_product_weight_bounded(
+        pairs_a in proptest::collection::vec((0u32..16, arb_pauli()), 0..8),
+        pairs_b in proptest::collection::vec((0u32..16, arb_pauli()), 0..8),
+    ) {
+        let a = PauliString::from_pairs(16, pairs_a.iter().map(|&(q, p)| (q as usize, p)));
+        let b = PauliString::from_pairs(16, pairs_b.iter().map(|&(q, p)| (q as usize, p)));
+        let prod = a.product(&b);
+        prop_assert!(prod.weight() <= a.weight() + b.weight());
+        // Multiplying back recovers a.
+        prop_assert_eq!(prod.product(&b), a);
+    }
+
+    #[test]
+    fn extra_rounds_solution_satisfies_eq1(
+        tp in 500.0f64..2000.0,
+        dt in 25.0f64..800.0,
+        tau in 0.0f64..2000.0,
+    ) {
+        let tpp = tp + dt;
+        if let Ok(m) = solve_extra_rounds(tp, tpp, tau, 200) {
+            let elapsed = m as f64 * tp + tau;
+            let ratio = elapsed / tpp;
+            prop_assert!((ratio - ratio.round()).abs() * tpp < 1e-5,
+                "m={m} does not satisfy Eq. (1)");
+        }
+    }
+
+    #[test]
+    fn hybrid_residual_always_below_tolerance(
+        tp in 500.0f64..2000.0,
+        dt in 25.0f64..800.0,
+        tau in 0.0f64..2000.0,
+        eps in 50.0f64..500.0,
+    ) {
+        let tpp = tp + dt;
+        if let Ok(sol) = solve_hybrid(tp, tpp, tau, eps, 12) {
+            prop_assert!(sol.residual_ns < eps);
+            prop_assert!(sol.residual_ns >= 0.0);
+            prop_assert!(sol.extra_rounds >= 1);
+            // The residual is exactly the misalignment after z rounds.
+            let elapsed = sol.extra_rounds as f64 * tp + tau;
+            let expect = (elapsed / tpp).ceil() * tpp - elapsed;
+            prop_assert!((sol.residual_ns - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn plans_conserve_the_slack(
+        tau in 0.0f64..1800.0,
+        rounds in 1u32..20,
+    ) {
+        let t = 1900.0;
+        for policy in [SyncPolicy::Passive, SyncPolicy::Active, SyncPolicy::ActiveIntra] {
+            let plan = plan_sync(policy, tau, t, t, rounds).unwrap();
+            // Equal cycle times: every idle-based policy inserts exactly
+            // tau (mod wrap) of idle in total.
+            let expect = tau % t;
+            prop_assert!((plan.total_idle_ns() - expect).abs() < 1e-6,
+                "{policy}: {} vs {expect}", plan.total_idle_ns());
+            prop_assert_eq!(plan.extra_rounds, 0);
+        }
+    }
+
+    #[test]
+    fn hybrid_plan_idle_bounded_by_epsilon(
+        tau in 0.0f64..1300.0,
+        eps in 100.0f64..500.0,
+    ) {
+        if let Ok(plan) = plan_sync(
+            SyncPolicy::Hybrid { epsilon_ns: eps, max_extra_rounds: 12 },
+            tau, 1000.0, 1325.0, 8,
+        ) {
+            if plan.policy != SyncPolicy::Active {
+                prop_assert!(plan.total_idle_ns() < eps);
+            }
+        }
+    }
+}
