@@ -9,7 +9,9 @@ use ftqc_surface::MemoryConfig;
 use ftqc_sync::{PatchId, SyncEngine, SyncPolicy};
 use std::time::Duration;
 
-fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+fn configured(
+    c: &mut Criterion,
+) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group("substrates");
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
@@ -19,13 +21,16 @@ fn configured(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::mea
 
 fn bench_substrates(c: &mut Criterion) {
     let hw = HardwareConfig::ibm();
-    let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&MemoryConfig::new(5, 6, &hw).build());
+    let circuit =
+        CircuitNoiseModel::standard(1e-3, &hw).apply(&MemoryConfig::new(5, 6, &hw).build());
     let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
     let graph = DecodingGraph::from_dem(&dem);
     let uf = UfDecoder::new(graph.clone());
     let mwpm = MwpmDecoder::new(graph);
     let batch = sample_batch(&circuit, 256, 1);
-    let syndromes: Vec<Vec<u32>> = (0..batch.shots).map(|s| batch.flagged_detectors(s)).collect();
+    let syndromes: Vec<Vec<u32>> = (0..batch.shots)
+        .map(|s| batch.flagged_detectors(s))
+        .collect();
 
     let mut g = configured(c);
     g.bench_function("frame_sampler_d5_1024_shots", |b| {
@@ -71,7 +76,11 @@ fn bench_substrates(c: &mut Criterion) {
             .map(|i| engine.register_patch(1000 + (i * 37) % 400))
             .collect();
         engine.advance(12_345);
-        b.iter(|| engine.synchronize(&ids, SyncPolicy::hybrid(400.0), 12).unwrap())
+        b.iter(|| {
+            engine
+                .synchronize(&ids, SyncPolicy::hybrid(400.0), 12)
+                .unwrap()
+        })
     });
     g.finish();
 }

@@ -35,6 +35,6 @@ mod parse;
 mod schedule;
 
 pub use circuit::{Circuit, CircuitError, CircuitStats};
-pub use parse::ParseCircuitError;
 pub use op::{DetectorBasis, MeasRef, Op, Qubit};
+pub use parse::ParseCircuitError;
 pub use schedule::{Schedule, ScheduledOp};

@@ -202,7 +202,12 @@ impl Op {
     /// All qubits touched by this op (with duplicates for pair lists).
     pub fn qubits(&self) -> Vec<Qubit> {
         match self {
-            Op::H(q) | Op::S(q) | Op::X(q) | Op::Y(q) | Op::Z(q) | Op::ResetZ(q)
+            Op::H(q)
+            | Op::S(q)
+            | Op::X(q)
+            | Op::Y(q)
+            | Op::Z(q)
+            | Op::ResetZ(q)
             | Op::ResetX(q) => q.clone(),
             Op::MeasureZ { qubits, .. }
             | Op::MeasureX { qubits, .. }
@@ -243,7 +248,12 @@ impl fmt::Display for Op {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.name())?;
         match self {
-            Op::H(q) | Op::S(q) | Op::X(q) | Op::Y(q) | Op::Z(q) | Op::ResetZ(q)
+            Op::H(q)
+            | Op::S(q)
+            | Op::X(q)
+            | Op::Y(q)
+            | Op::Z(q)
+            | Op::ResetZ(q)
             | Op::ResetX(q) => {
                 for x in q {
                     write!(f, " {x}")?;

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the `ftqc-bench` targets
+//! use — benchmark groups with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function`, `Bencher::iter` and the
+//! `criterion_group!` / `criterion_main!` macros — with plain wall-clock
+//! timing and a one-line-per-benchmark report. No statistics, plots or
+//! baselines: the point is that `cargo bench` builds and runs offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement strategies (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up budget before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total sampling budget; sampling stops early once exhausted.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Times `f` and prints a one-line report.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up: run the routine untimed until the budget is spent.
+    let warm_up_end = Instant::now() + warm_up_time;
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    while Instant::now() < warm_up_end {
+        f(&mut bencher);
+    }
+    // Measure: collect up to `sample_size` samples within the budget.
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    let measure_end = Instant::now() + measurement_time;
+    for _ in 0..sample_size {
+        bencher.elapsed = Duration::ZERO;
+        bencher.iterations = 0;
+        f(&mut bencher);
+        if bencher.iterations > 0 {
+            samples.push(bencher.elapsed.as_secs_f64() / bencher.iterations as f64);
+        }
+        if Instant::now() >= measure_end {
+            break;
+        }
+    }
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median = samples[samples.len() / 2];
+    println!(
+        "{id:<48} mean {:>12}  median {:>12}  ({} samples)",
+        format_time(mean),
+        format_time(median),
+        samples.len()
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// Passed to benchmark closures; accumulates timed iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times one call of `routine` (criterion times batches; one call
+    /// per sample is accurate enough for this offline harness).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+}

@@ -60,7 +60,10 @@ impl CultivationModel {
     /// Panics if the duration is not positive or the probability is
     /// outside `(0, 1]`.
     pub fn new(attempt_duration_ns: f64, success_probability: f64) -> CultivationModel {
-        assert!(attempt_duration_ns > 0.0, "attempt duration must be positive");
+        assert!(
+            attempt_duration_ns > 0.0,
+            "attempt duration must be positive"
+        );
         assert!(
             success_probability > 0.0 && success_probability <= 1.0,
             "success probability must be in (0, 1]"
@@ -93,12 +96,7 @@ impl CultivationModel {
     /// Both patches start synchronized; the slack of run `i` is the
     /// total cultivation time modulo the compute cycle (the phase
     /// misalignment when the T state becomes available).
-    pub fn slack_distribution(
-        &self,
-        compute_cycle_ns: f64,
-        shots: u32,
-        seed: u64,
-    ) -> SlackStats {
+    pub fn slack_distribution(&self, compute_cycle_ns: f64, shots: u32, seed: u64) -> SlackStats {
         assert!(shots > 0, "need at least one shot");
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut slacks: Vec<f64> = (0..shots)
@@ -148,10 +146,12 @@ pub fn qldpc_cycle_time_ns(gate_1q_ns: f64, gate_2q_ns: f64, readout_reset_ns: f
 /// assert!(qldpc_slack(10, 1900.0, 2110.0) < 1900.0);
 /// ```
 pub fn qldpc_slack(rounds: u32, t_sc_ns: f64, t_qldpc_ns: f64) -> f64 {
-    assert!(t_sc_ns > 0.0 && t_qldpc_ns > 0.0, "cycle times must be positive");
+    assert!(
+        t_sc_ns > 0.0 && t_qldpc_ns > 0.0,
+        "cycle times must be positive"
+    );
     (rounds as f64 * (t_qldpc_ns - t_sc_ns)).abs() % t_sc_ns
 }
-
 
 /// Syndrome-generation cycle time of a surface-code patch that works
 /// around `dropouts` — failed qubits or couplers — by time-multiplexing

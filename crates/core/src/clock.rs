@@ -114,8 +114,16 @@ pub fn synchronize_patches(
             continue;
         }
         let tau = c.slack_against_ns(slow);
-        let plan = plan_sync(policy, tau, c.cycle_time_ns, slow.cycle_time_ns, rounds)
-            .or_else(|_| plan_sync(SyncPolicy::Active, tau, c.cycle_time_ns, slow.cycle_time_ns, rounds))?;
+        let plan =
+            plan_sync(policy, tau, c.cycle_time_ns, slow.cycle_time_ns, rounds).or_else(|_| {
+                plan_sync(
+                    SyncPolicy::Active,
+                    tau,
+                    c.cycle_time_ns,
+                    slow.cycle_time_ns,
+                    rounds,
+                )
+            })?;
         plans.push(plan);
     }
     Ok((plans, slowest))
@@ -153,8 +161,7 @@ mod tests {
             LogicalClock::new(1000.0, 0.0),   // finishes in 1000
             LogicalClock::new(1325.0, 425.0), // finishes in 900: leads
         ];
-        let (plans, slowest) =
-            synchronize_patches(SyncPolicy::hybrid(400.0), &clocks, 8).unwrap();
+        let (plans, slowest) = synchronize_patches(SyncPolicy::hybrid(400.0), &clocks, 8).unwrap();
         assert_eq!(slowest, 0);
         assert_eq!(plans[1].extra_rounds, 2); // min residual 250 at z = 2
         assert!((plans[1].total_idle_ns() - 250.0).abs() < 1e-9);
@@ -167,8 +174,7 @@ mod tests {
             LogicalClock::new(1900.0, 500.0),
             LogicalClock::new(1900.0, 0.0),
         ];
-        let (plans, slowest) =
-            synchronize_patches(SyncPolicy::ExtraRounds, &clocks, 8).unwrap();
+        let (plans, slowest) = synchronize_patches(SyncPolicy::ExtraRounds, &clocks, 8).unwrap();
         assert_eq!(slowest, 1);
         assert_eq!(plans[0].policy, SyncPolicy::Active);
         assert!((plans[0].total_idle_ns() - 500.0).abs() < 1e-9);

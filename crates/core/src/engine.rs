@@ -102,18 +102,22 @@ impl SyncEngine {
     /// # Errors
     ///
     /// Returns [`SyncError::InvalidParameter`] when a referenced patch
-    /// is invalid, plus any planning error.
+    /// is invalid or listed twice, plus any planning error.
     pub fn synchronize(
         &self,
         ids: &[PatchId],
         policy: SyncPolicy,
         rounds: u32,
     ) -> Result<SyncRequestOutcome, SyncError> {
+        let mut requested = vec![false; self.counters.len()];
         let mut clocks = Vec::with_capacity(ids.len());
         for id in ids {
             let phase = self
                 .phase_ticks(*id)
                 .ok_or(SyncError::InvalidParameter("invalid patch id"))?;
+            if std::mem::replace(&mut requested[id.0 as usize], true) {
+                return Err(SyncError::InvalidParameter("duplicate patch id"));
+            }
             clocks.push(LogicalClock::new(
                 self.cycle_ticks[id.0 as usize] as f64,
                 phase as f64,
@@ -245,13 +249,16 @@ impl Controller {
     ///
     /// # Errors
     ///
-    /// Propagates planning errors; invalid ids are rejected.
+    /// Propagates planning errors; invalid ids are rejected, as are
+    /// duplicate ids (whose plans would otherwise be applied twice to
+    /// the same patch, corrupting its round count and alignment).
     pub fn synchronize(
         &mut self,
         ids: &[PatchId],
         policy: SyncPolicy,
         rounds: u32,
     ) -> Result<u64, SyncError> {
+        let mut requested = vec![false; self.patches.len()];
         let mut clocks = Vec::with_capacity(ids.len());
         for id in ids {
             let p = self
@@ -259,6 +266,9 @@ impl Controller {
                 .get(id.0 as usize)
                 .filter(|p| p.valid)
                 .ok_or(SyncError::InvalidParameter("invalid patch id"))?;
+            if std::mem::replace(&mut requested[id.0 as usize], true) {
+                return Err(SyncError::InvalidParameter("duplicate patch id"));
+            }
             let remaining = p.cycle_end_tick - self.now;
             let phase = p.cycle_ticks as u64 - remaining;
             clocks.push(LogicalClock::new(p.cycle_ticks as f64, phase as f64));
@@ -334,11 +344,7 @@ mod tests {
         let out = e.synchronize(&[a, b, c], SyncPolicy::Active, 8).unwrap();
         assert_eq!(out.plans.len(), 3);
         assert_eq!(out.slowest, c); // c just started its cycle
-        let total: f64 = out
-            .plans
-            .iter()
-            .map(|(_, plan)| plan.total_idle_ns())
-            .sum();
+        let total: f64 = out.plans.iter().map(|(_, plan)| plan.total_idle_ns()).sum();
         assert!((total - 1000.0).abs() < 1e-9); // a and b each idle 500
     }
 
@@ -382,6 +388,39 @@ mod tests {
         let _ = ctl.add_patch(1000, 0);
         let bogus = PatchId(42);
         assert!(ctl.synchronize(&[bogus], SyncPolicy::Active, 8).is_err());
+    }
+
+    #[test]
+    fn controller_rejects_duplicate_ids_without_side_effects() {
+        let mut ctl = Controller::new();
+        let a = ctl.add_patch(1000, 0);
+        let b = ctl.add_patch(1000, 700);
+        let before_a = ctl.status(a).unwrap();
+        let before_b = ctl.status(b).unwrap();
+        let err = ctl
+            .synchronize(&[a, b, a], SyncPolicy::Active, 8)
+            .unwrap_err();
+        assert!(matches!(err, SyncError::InvalidParameter(_)));
+        // The request must be rejected before any plan is applied:
+        // round counts and alignment points are untouched.
+        assert_eq!(ctl.status(a).unwrap(), before_a);
+        assert_eq!(ctl.status(b).unwrap(), before_b);
+        assert_eq!(ctl.now(), 0);
+        // A clean request on the same controller still succeeds.
+        let tick = ctl.synchronize(&[a, b], SyncPolicy::Active, 8).unwrap();
+        assert_eq!(ctl.status(a).unwrap().cycle_end_tick, tick);
+    }
+
+    #[test]
+    fn engine_rejects_duplicate_ids() {
+        let mut e = SyncEngine::new();
+        let a = e.register_patch(1900);
+        let b = e.register_patch(1900);
+        let err = e
+            .synchronize(&[a, a, b], SyncPolicy::Active, 8)
+            .unwrap_err();
+        assert!(matches!(err, SyncError::InvalidParameter(_)));
+        assert!(e.synchronize(&[a, b], SyncPolicy::Active, 8).is_ok());
     }
 
     #[test]

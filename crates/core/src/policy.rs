@@ -130,10 +130,10 @@ pub fn plan_sync(
     if rounds == 0 {
         return Err(SyncError::InvalidParameter("rounds must be positive"));
     }
-    if !(tau_ns >= 0.0) {
+    if tau_ns.is_nan() || tau_ns < 0.0 {
         return Err(SyncError::InvalidParameter("slack must be non-negative"));
     }
-    if !(t_p_ns > 0.0) || !(t_p_prime_ns > 0.0) {
+    if !(t_p_ns.is_finite() && t_p_ns > 0.0 && t_p_prime_ns.is_finite() && t_p_prime_ns > 0.0) {
         return Err(SyncError::InvalidParameter("cycle times must be positive"));
     }
     // Slack is a phase difference: bounded by the lagging cycle time
@@ -232,14 +232,7 @@ mod tests {
 
     #[test]
     fn hybrid_matches_table_2() {
-        let p = plan_sync(
-            SyncPolicy::hybrid(400.0),
-            1000.0,
-            1000.0,
-            1325.0,
-            8,
-        )
-        .unwrap();
+        let p = plan_sync(SyncPolicy::hybrid(400.0), 1000.0, 1000.0, 1325.0, 8).unwrap();
         assert_eq!(p.extra_rounds, 4);
         assert!((p.total_idle_ns() - 300.0).abs() < 1e-9);
         // Residual spread across all 12 rounds.
@@ -284,9 +277,6 @@ mod tests {
     #[test]
     fn policy_display() {
         assert_eq!(SyncPolicy::Passive.to_string(), "Passive");
-        assert_eq!(
-            SyncPolicy::hybrid(400.0).to_string(),
-            "Hybrid(eps=400ns)"
-        );
+        assert_eq!(SyncPolicy::hybrid(400.0).to_string(), "Hybrid(eps=400ns)");
     }
 }

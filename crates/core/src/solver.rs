@@ -137,10 +137,10 @@ pub fn solve_hybrid(
 }
 
 fn validate(t_p_ns: f64, t_p_prime_ns: f64, tau_ns: f64) -> Result<(), SyncError> {
-    if !(t_p_ns > 0.0) || !(t_p_prime_ns > 0.0) {
+    if !(t_p_ns.is_finite() && t_p_ns > 0.0 && t_p_prime_ns.is_finite() && t_p_prime_ns > 0.0) {
         return Err(SyncError::InvalidParameter("cycle times must be positive"));
     }
-    if !(tau_ns >= 0.0) {
+    if tau_ns.is_nan() || tau_ns < 0.0 {
         return Err(SyncError::InvalidParameter("slack must be non-negative"));
     }
     Ok(())

@@ -75,7 +75,7 @@ impl DecodingGraph {
                 observables,
             })
             .collect();
-        edges.sort_by(|a, b| (a.u, a.v, a.observables).cmp(&(b.u, b.v, b.observables)));
+        edges.sort_by_key(|e| (e.u, e.v, e.observables));
         let mut adj = vec![Vec::new(); n as usize];
         for (i, e) in edges.iter().enumerate() {
             adj[e.u as usize].push(i as u32);
@@ -148,11 +148,8 @@ impl DecodingGraph {
         let mut dist = vec![f64::INFINITY; n];
         let mut mask = vec![0u32; n];
         let mut heap = BinaryHeap::new();
-        let mut remaining: usize = targets
-            .iter()
-            .filter(|&&t| t != source)
-            .count()
-            + usize::from(!targets.is_empty()); // + the boundary
+        let mut remaining: usize =
+            targets.iter().filter(|&&t| t != source).count() + usize::from(!targets.is_empty()); // + the boundary
         dist[source as usize] = 0.0;
         heap.push(Item(0.0, source));
         while let Some(Item(d, u)) = heap.pop() {

@@ -1,0 +1,281 @@
+//! Decoder selection: one constructor for the whole decoding stack.
+//!
+//! [`DecoderKind`] names each decoder family of the paper's toolchain
+//! (union-find, exact matching, capacity-limited LUT, hierarchical
+//! LUT+MWPM) together with its configuration, and [`DecoderKind::build`]
+//! turns a kind into a ready [`AnyDecoder`] for a decoding graph. This
+//! replaces the `mwpm: bool`-style branches that used to be copy-pasted
+//! across the experiment runner, the figure modules and the examples.
+
+use crate::evaluate::Decoder;
+use crate::graph::DecodingGraph;
+use crate::hierarchical::{HierarchicalDecoder, LatencyModel};
+use crate::lut::LutDecoder;
+use crate::mwpm::MwpmDecoder;
+use crate::union_find::UfDecoder;
+use ftqc_circuit::Circuit;
+
+/// Default LUT training shots when none are configured.
+const DEFAULT_TRAIN_SHOTS: usize = 20_000;
+/// Default LUT capacity (the paper's 3 KB `d = 3` table).
+const DEFAULT_CAPACITY_BYTES: usize = 3 * 1024;
+/// Default modelled MWPM miss latency when no measured samples are
+/// supplied (hierarchical kind only; see [`LatencyModel`]).
+const DEFAULT_MISS_LATENCY_NS: f64 = 1_000.0;
+
+/// Which decoder backs an evaluation.
+///
+/// The sampling-trained kinds (`Lut`, `Hierarchical`) carry their
+/// training configuration so a kind is a complete, self-contained
+/// recipe: `kind.build(&circuit, graph, seed)` is everything a caller
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderKind {
+    /// Weighted union-find (Delfosse–Nickerson style): the fast path
+    /// for large parameter sweeps.
+    UnionFind,
+    /// Minimum-weight perfect matching (exact up to a syndrome-weight
+    /// cutoff, union-find beyond): the PyMatching stand-in.
+    Mwpm,
+    /// Capacity-limited lookup table trained by sampling
+    /// (LILLIPUT-style).
+    Lut {
+        /// Training shots sampled from the circuit.
+        train_shots: usize,
+        /// Byte budget of the table.
+        capacity_bytes: usize,
+    },
+    /// LUT front end backed by MWPM, with the Fig. 22 latency model.
+    Hierarchical {
+        /// Training shots sampled from the circuit.
+        train_shots: usize,
+        /// Byte budget of the front-end table.
+        capacity_bytes: usize,
+    },
+}
+
+impl DecoderKind {
+    /// A LUT kind with the default training size and the paper's 3 KB
+    /// capacity.
+    pub fn lut() -> DecoderKind {
+        DecoderKind::Lut {
+            train_shots: DEFAULT_TRAIN_SHOTS,
+            capacity_bytes: DEFAULT_CAPACITY_BYTES,
+        }
+    }
+
+    /// A hierarchical kind with the default training size and capacity.
+    pub fn hierarchical() -> DecoderKind {
+        DecoderKind::Hierarchical {
+            train_shots: DEFAULT_TRAIN_SHOTS,
+            capacity_bytes: DEFAULT_CAPACITY_BYTES,
+        }
+    }
+
+    /// The accuracy/throughput heuristic the experiment runner uses:
+    /// exact matching up to `d = 5`, union-find beyond.
+    ///
+    /// The UF approximation systematically (if slightly) favours
+    /// *clustered* idle errors over distributed ones, inverting
+    /// sub-percent policy comparisons in weak-idle regimes — the
+    /// paper's PyMatching baseline has no such bias, and neither does
+    /// the exact matcher (see EXPERIMENTS.md).
+    pub fn for_distance(d: u32) -> DecoderKind {
+        if d <= 5 {
+            DecoderKind::Mwpm
+        } else {
+            DecoderKind::UnionFind
+        }
+    }
+
+    /// Short human-readable name (stable across configurations).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecoderKind::UnionFind => "union-find",
+            DecoderKind::Mwpm => "mwpm",
+            DecoderKind::Lut { .. } => "lut",
+            DecoderKind::Hierarchical { .. } => "hierarchical",
+        }
+    }
+
+    /// Builds the decoder for `graph`.
+    ///
+    /// The sampling-trained kinds additionally draw training shots from
+    /// `circuit` using `seed`; the graph-only kinds ignore both. The
+    /// hierarchical kind gets the default constant miss latency — use
+    /// [`HierarchicalDecoder::new`] directly when modelling measured
+    /// latencies (as the Fig. 22 study does).
+    pub fn build(&self, circuit: &Circuit, graph: DecodingGraph, seed: u64) -> AnyDecoder {
+        match *self {
+            DecoderKind::UnionFind => AnyDecoder::UnionFind(UfDecoder::new(graph)),
+            DecoderKind::Mwpm => AnyDecoder::Mwpm(MwpmDecoder::new(graph)),
+            DecoderKind::Lut {
+                train_shots,
+                capacity_bytes,
+            } => AnyDecoder::Lut(LutDecoder::train(
+                circuit,
+                train_shots,
+                seed,
+                capacity_bytes,
+            )),
+            DecoderKind::Hierarchical {
+                train_shots,
+                capacity_bytes,
+            } => {
+                let lut = LutDecoder::train(circuit, train_shots, seed, capacity_bytes);
+                let mwpm = MwpmDecoder::new(graph);
+                AnyDecoder::Hierarchical(HierarchicalDecoder::new(
+                    lut,
+                    mwpm,
+                    LatencyModel::new(vec![DEFAULT_MISS_LATENCY_NS]),
+                    seed,
+                ))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for DecoderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A decoder built from a [`DecoderKind`]: the closed union of the
+/// workspace's decoder families, dispatching [`Decoder::predict`].
+#[derive(Debug)]
+pub enum AnyDecoder {
+    /// See [`UfDecoder`].
+    UnionFind(UfDecoder),
+    /// See [`MwpmDecoder`].
+    Mwpm(MwpmDecoder),
+    /// See [`LutDecoder`].
+    Lut(LutDecoder),
+    /// See [`HierarchicalDecoder`].
+    Hierarchical(HierarchicalDecoder),
+}
+
+impl AnyDecoder {
+    /// The kind family this decoder belongs to.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyDecoder::UnionFind(_) => "union-find",
+            AnyDecoder::Mwpm(_) => "mwpm",
+            AnyDecoder::Lut(_) => "lut",
+            AnyDecoder::Hierarchical(_) => "hierarchical",
+        }
+    }
+
+    /// The hierarchical decoder, when that is what was built (for
+    /// latency-model probes like `decode_timed` / `hit_rate`).
+    pub fn as_hierarchical(&self) -> Option<&HierarchicalDecoder> {
+        match self {
+            AnyDecoder::Hierarchical(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The LUT decoder, when that is what was built.
+    pub fn as_lut(&self) -> Option<&LutDecoder> {
+        match self {
+            AnyDecoder::Lut(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Consumes the union, returning the LUT decoder when that is what
+    /// was built (for studies that assemble composite decoders from
+    /// pipeline-built parts, like the Fig. 22 latency study).
+    pub fn into_lut(self) -> Option<LutDecoder> {
+        match self {
+            AnyDecoder::Lut(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Consumes the union, returning the MWPM decoder when that is
+    /// what was built.
+    pub fn into_mwpm(self) -> Option<MwpmDecoder> {
+        match self {
+            AnyDecoder::Mwpm(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl Decoder for AnyDecoder {
+    fn predict(&self, flagged: &[u32]) -> u32 {
+        match self {
+            AnyDecoder::UnionFind(d) => d.predict(flagged),
+            AnyDecoder::Mwpm(d) => d.predict(flagged),
+            AnyDecoder::Lut(d) => d.predict(flagged),
+            AnyDecoder::Hierarchical(d) => d.predict(flagged),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
+    use ftqc_sim::DetectorErrorModel;
+    use ftqc_surface::MemoryConfig;
+
+    fn d3_graph() -> (Circuit, DecodingGraph) {
+        let hw = HardwareConfig::ibm();
+        let c = CircuitNoiseModel::standard(1e-3, &hw).apply(&MemoryConfig::new(3, 4, &hw).build());
+        let (dem, _) = DetectorErrorModel::from_circuit(&c, true);
+        let g = DecodingGraph::from_dem(&dem);
+        (c, g)
+    }
+
+    #[test]
+    fn every_kind_builds_its_family() {
+        let (c, g) = d3_graph();
+        for (kind, name) in [
+            (DecoderKind::UnionFind, "union-find"),
+            (DecoderKind::Mwpm, "mwpm"),
+            (DecoderKind::lut(), "lut"),
+            (DecoderKind::hierarchical(), "hierarchical"),
+        ] {
+            let dec = kind.build(&c, g.clone(), 5);
+            assert_eq!(dec.name(), name);
+            assert_eq!(kind.name(), name);
+            // The trivial syndrome never predicts a flip.
+            assert_eq!(dec.predict(&[]), 0);
+        }
+    }
+
+    #[test]
+    fn distance_heuristic_matches_runner_policy() {
+        assert_eq!(DecoderKind::for_distance(3), DecoderKind::Mwpm);
+        assert_eq!(DecoderKind::for_distance(5), DecoderKind::Mwpm);
+        assert_eq!(DecoderKind::for_distance(7), DecoderKind::UnionFind);
+    }
+
+    #[test]
+    fn built_decoders_match_direct_construction() {
+        let (c, g) = d3_graph();
+        let direct_uf = UfDecoder::new(g.clone());
+        let direct_mwpm = MwpmDecoder::new(g.clone());
+        let built_uf = DecoderKind::UnionFind.build(&c, g.clone(), 1);
+        let built_mwpm = DecoderKind::Mwpm.build(&c, g, 1);
+        for syndrome in [vec![], vec![0u32], vec![0, 1], vec![2, 5, 7]] {
+            assert_eq!(direct_uf.predict(&syndrome), built_uf.predict(&syndrome));
+            assert_eq!(
+                direct_mwpm.predict(&syndrome),
+                built_mwpm.predict(&syndrome)
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_accessor_exposes_latency_probe() {
+        let (c, g) = d3_graph();
+        let dec = DecoderKind::hierarchical().build(&c, g, 2);
+        let h = dec.as_hierarchical().expect("hierarchical");
+        assert!(dec.as_lut().is_none());
+        let timed = h.decode_timed(&[]);
+        assert!(timed.hit);
+    }
+}

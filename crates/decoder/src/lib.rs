@@ -19,6 +19,9 @@
 //! * [`HierarchicalDecoder`] — LUT front end backed by MWPM with a
 //!   latency model (20 ns hits; miss latencies sampled from measured
 //!   MWPM decode times), reproducing the Fig. 22 speedup study.
+//! * [`DecoderKind`] / [`AnyDecoder`] — unified decoder selection: a
+//!   kind is a complete recipe (`kind.build(&circuit, graph, seed)`),
+//!   so callers never branch on decoder families themselves.
 //! * [`evaluate_ler`] — end-to-end logical-error-rate evaluation of a
 //!   noisy circuit under any [`Decoder`].
 //!
@@ -42,6 +45,7 @@
 mod evaluate;
 mod graph;
 mod hierarchical;
+mod kind;
 mod lut;
 mod mwpm;
 mod union_find;
@@ -49,6 +53,7 @@ mod union_find;
 pub use evaluate::{evaluate_ler, Decoder};
 pub use graph::{DecodingGraph, GraphEdge};
 pub use hierarchical::{HierarchicalDecoder, LatencyModel, TimedDecode};
+pub use kind::{AnyDecoder, DecoderKind};
 pub use lut::LutDecoder;
 pub use mwpm::MwpmDecoder;
 pub use union_find::UfDecoder;

@@ -148,34 +148,26 @@ pub fn brute_force_matching(
     bdry_d: &[f64],
 ) -> f64 {
     use std::collections::HashMap;
-    fn rec(
-        remaining: &mut Vec<usize>,
-        pair_d: &HashMap<(usize, usize), f64>,
-        bdry_d: &[f64],
-    ) -> f64 {
+    fn rec(remaining: &[usize], pair_d: &HashMap<(usize, usize), f64>, bdry_d: &[f64]) -> f64 {
         let Some(&i) = remaining.first() else {
             return 0.0;
         };
-        let mut best = f64::INFINITY;
-        let rest: Vec<usize> = remaining[1..].to_vec();
+        let rest = &remaining[1..];
         // Boundary.
-        {
-            let mut r = rest.clone();
-            best = best.min(bdry_d[i] + rec(&mut r, pair_d, bdry_d));
-        }
+        let mut best = bdry_d[i] + rec(rest, pair_d, bdry_d);
         for (idx, &j) in rest.iter().enumerate() {
-            let mut r = rest.clone();
+            let mut r = rest.to_vec();
             r.remove(idx);
             let d = pair_d
                 .get(&(i.min(j), i.max(j)))
                 .copied()
                 .unwrap_or(f64::INFINITY);
-            best = best.min(d + rec(&mut r, pair_d, bdry_d));
+            best = best.min(d + rec(&r, pair_d, bdry_d));
         }
         best
     }
-    let mut all: Vec<usize> = (0..k).collect();
-    rec(&mut all, pair_d, bdry_d)
+    let all: Vec<usize> = (0..k).collect();
+    rec(&all, pair_d, bdry_d)
 }
 
 #[cfg(test)]

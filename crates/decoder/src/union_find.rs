@@ -180,29 +180,27 @@ fn peel(graph: &DecodingGraph, saturated: &[bool], defect: &mut [bool]) -> u32 {
     let mut parent_edge = vec![u32::MAX; n];
     let mut boundary_edge_of_root: Vec<(u32, Option<u32>)> = Vec::new();
     let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
-    let mut bfs = |root: u32,
-                   visited: &mut Vec<bool>,
-                   parent_edge: &mut Vec<u32>,
-                   order: &mut Vec<u32>| {
-        visited[root as usize] = true;
-        queue.push_back(root);
-        while let Some(u) = queue.pop_front() {
-            order.push(u);
-            for &ei in graph.incident(u) {
-                if !saturated[ei as usize] {
-                    continue;
-                }
-                let e = &edges[ei as usize];
-                let Some(v) = e.v else { continue };
-                let w = if e.u == u { v } else { e.u };
-                if !visited[w as usize] {
-                    visited[w as usize] = true;
-                    parent_edge[w as usize] = ei;
-                    queue.push_back(w);
+    let mut bfs =
+        |root: u32, visited: &mut Vec<bool>, parent_edge: &mut Vec<u32>, order: &mut Vec<u32>| {
+            visited[root as usize] = true;
+            queue.push_back(root);
+            while let Some(u) = queue.pop_front() {
+                order.push(u);
+                for &ei in graph.incident(u) {
+                    if !saturated[ei as usize] {
+                        continue;
+                    }
+                    let e = &edges[ei as usize];
+                    let Some(v) = e.v else { continue };
+                    let w = if e.u == u { v } else { e.u };
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        parent_edge[w as usize] = ei;
+                        queue.push_back(w);
+                    }
                 }
             }
-        }
-    };
+        };
     // Boundary-anchored spanning trees first: each root's BFS claims
     // its whole component before other roots are considered, so
     // boundary-reachable defects drain to the boundary.
@@ -278,7 +276,10 @@ mod tests {
             c.push(Op::cx([(k, n_data + k)]));
             c.push(Op::cx([(k + 1, n_data + k)]));
         }
-        c.push(Op::measure_z((n_data..n_data + n_checks).collect::<Vec<_>>(), 0.0));
+        c.push(Op::measure_z(
+            (n_data..n_data + n_checks).collect::<Vec<_>>(),
+            0.0,
+        ));
         for k in 0..n_checks {
             c.push(Op::detector([MeasRef(k)], DetectorBasis::Z));
         }

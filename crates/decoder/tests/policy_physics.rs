@@ -26,7 +26,13 @@ fn active_beats_passive_on_google_config() {
     let shots = 150_000;
     let (passive_merged, passive_p) = ler_for(SyncPolicy::Passive, 1000.0, 7, shots);
     let (active_merged, active_p) = ler_for(SyncPolicy::Active, 1000.0, 7, shots);
-    eprintln!("merged: passive={passive_merged:.5} active={active_merged:.5} ratio={:.3}", passive_merged / active_merged);
-    eprintln!("P:      passive={passive_p:.5} active={active_p:.5} ratio={:.3}", passive_p / active_p);
+    eprintln!(
+        "merged: passive={passive_merged:.5} active={active_merged:.5} ratio={:.3}",
+        passive_merged / active_merged
+    );
+    eprintln!(
+        "P:      passive={passive_p:.5} active={active_p:.5} ratio={:.3}",
+        passive_p / active_p
+    );
     assert!(active_p < passive_p, "Active must beat Passive on X_P");
 }

@@ -41,7 +41,10 @@ impl LogicalEstimate {
     ///
     /// Panics unless `0 < p < p_th` and `0 < budget < 1`.
     pub fn for_workload(workload: &Workload, p: f64, budget: f64) -> LogicalEstimate {
-        assert!(p > 0.0 && p < 0.01, "physical error rate must be below threshold");
+        assert!(
+            p > 0.0 && p < 0.01,
+            "physical error rate must be below threshold"
+        );
         assert!(budget > 0.0 && budget < 1.0, "budget must be a probability");
         let a = &workload.analysis;
         let q = a.num_qubits as u64;
@@ -51,9 +54,7 @@ impl LogicalEstimate {
         // workload can absorb per cycle, bounded by its concurrent
         // CNOT width and by 12.
         let width = a.max_concurrent_cnots.max(1);
-        let factories = ((magic_states / a.depth.max(1)).max(1))
-            .min(width)
-            .min(12) as u32;
+        let factories = ((magic_states / a.depth.max(1)).max(1)).min(width).min(12) as u32;
         let logical_cycles = a.depth.max(1) + magic_states / factories as u64;
         let syncs_per_cycle = magic_states as f64 / logical_cycles as f64;
         // Code distance from the error budget.

@@ -70,8 +70,7 @@ pub mod fig04a {
         for hw in [HardwareConfig::ibm(), HardwareConfig::google()] {
             for p in [5e-4, 1e-3] {
                 let model = CultivationModel::for_error_rate(p, hw.cycle_time_ns());
-                let stats =
-                    model.slack_distribution(hw.cycle_time_ns(), 100_000, config.seed);
+                let stats = model.slack_distribution(hw.cycle_time_ns(), 100_000, config.seed);
                 t.push_row([
                     hw.name.to_string(),
                     format!("{p}"),
@@ -103,8 +102,16 @@ pub mod fig04b {
         let goo = HardwareConfig::google();
         let t_ibm = ibm.cycle_time_ns();
         let t_goo = goo.cycle_time_ns();
-        let q_ibm = qldpc_cycle_time_ns(ibm.gate_1q_ns, ibm.gate_2q_ns, ibm.readout_ns + ibm.reset_ns);
-        let q_goo = qldpc_cycle_time_ns(goo.gate_1q_ns, goo.gate_2q_ns, goo.readout_ns + goo.reset_ns);
+        let q_ibm = qldpc_cycle_time_ns(
+            ibm.gate_1q_ns,
+            ibm.gate_2q_ns,
+            ibm.readout_ns + ibm.reset_ns,
+        );
+        let q_goo = qldpc_cycle_time_ns(
+            goo.gate_1q_ns,
+            goo.gate_2q_ns,
+            goo.readout_ns + goo.reset_ns,
+        );
         for rounds in (0..=100).step_by(5) {
             t.push_row([
                 rounds.to_string(),
@@ -166,10 +173,7 @@ pub mod fig20 {
             ["workload", "max concurrent CNOTs"],
         );
         for w in workloads::catalog() {
-            left.push_row([
-                w.name.clone(),
-                w.analysis.max_concurrent_cnots.to_string(),
-            ]);
+            left.push_row([w.name.clone(), w.analysis.max_concurrent_cnots.to_string()]);
         }
         let mut right = Table::new(
             "fig20_engine_latency",

@@ -3,6 +3,7 @@
 
 use crate::runner::{ls_ler, reduction, LsSetup};
 use crate::{Config, Table};
+use ftqc_decoder::DecoderKind;
 use ftqc_estimator::{program_ler_increase, workloads, LogicalEstimate};
 use ftqc_noise::HardwareConfig;
 use ftqc_surface::LsBasis;
@@ -39,8 +40,17 @@ pub mod fig14 {
                             LsBasis::X => "x",
                         }
                     ),
-                    format!("Active/Passive LER reduction ({}, {basis:?}-basis surgery)", hw.name),
-                    ["d", "tau (ns)", "reduction P", "reduction merged", "reduction avg"],
+                    format!(
+                        "Active/Passive LER reduction ({}, {basis:?}-basis surgery)",
+                        hw.name
+                    ),
+                    [
+                        "d",
+                        "tau (ns)",
+                        "reduction P",
+                        "reduction merged",
+                        "reduction avg",
+                    ],
                 );
                 for &d in &config.distances {
                     for tau in [500.0, 1000.0] {
@@ -160,15 +170,8 @@ pub mod fig16 {
         );
         for w in workloads::catalog() {
             let est = LogicalEstimate::for_workload(&w, 1e-3, 1e-2);
-            let f = |e_sync: f64| {
-                fmt_red(program_ler_increase(&est, e_round, e_ideal, e_sync))
-            };
-            t.push_row([
-                w.name.clone(),
-                f(e_pas_1000),
-                f(e_pas_500),
-                f(e_active),
-            ]);
+            let f = |e_sync: f64| fmt_red(program_ler_increase(&est, e_round, e_ideal, e_sync));
+            t.push_row([w.name.clone(), f(e_pas_1000), f(e_pas_500), f(e_active)]);
         }
         vec![t]
     }
@@ -232,10 +235,10 @@ pub mod fig18 {
             for tau in [500.0, 1000.0] {
                 let mut pas = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, tau);
                 pas.extra_rounds_both = r;
-                pas.mwpm = false; // large circuits; UF keeps this tractable
+                pas.decoder = DecoderKind::UnionFind; // large circuits; UF keeps this tractable
                 let mut act = LsSetup::homogeneous(d, &hw, SyncPolicy::Active, tau);
                 act.extra_rounds_both = r;
-                act.mwpm = false;
+                act.decoder = DecoderKind::UnionFind;
                 let p = ls_ler(&pas, config.shots, config.seed, config.threads);
                 let aa = ls_ler(&act, config.shots, config.seed + 1, config.threads);
                 cells.push(fmt_red(reduction(&p, &aa)));
@@ -243,7 +246,7 @@ pub mod fig18 {
             a.push_row(cells);
             let mut ideal = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, 0.0);
             ideal.extra_rounds_both = r;
-            ideal.mwpm = false;
+            ideal.decoder = DecoderKind::UnionFind;
             let l = ls_ler(&ideal, config.shots, config.seed + 2, config.threads);
             b.push_row([r.to_string(), fmt_rate(l[2].rate())]);
         }
@@ -282,11 +285,11 @@ pub mod fig19_table4 {
                 let mut pas = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, tau);
                 pas.t_p_ns = 1000.0;
                 pas.t_p_prime_ns = tpp;
-                pas.mwpm = false;
+                pas.decoder = DecoderKind::UnionFind;
                 let mut pol = LsSetup::homogeneous(d, &hw, policy, tau);
                 pol.t_p_ns = 1000.0;
                 pol.t_p_prime_ns = tpp;
-                pol.mwpm = false;
+                pol.decoder = DecoderKind::UnionFind;
                 let p = ls_ler(&pas, config.shots, seed, config.threads);
                 let a = ls_ler(&pol, config.shots, seed + 1, config.threads);
                 let r = reduction(&p, &a);
@@ -324,11 +327,11 @@ pub mod fig19_table4 {
                     let mut pas = LsSetup::homogeneous(dd, &hw, SyncPolicy::Passive, 1000.0);
                     pas.t_p_ns = 1000.0;
                     pas.t_p_prime_ns = tpp;
-                    pas.mwpm = false;
+                    pas.decoder = DecoderKind::UnionFind;
                     let mut pol = LsSetup::homogeneous(dd, &hw, policy, 1000.0);
                     pol.t_p_ns = 1000.0;
                     pol.t_p_prime_ns = tpp;
-                    pol.mwpm = false;
+                    pol.decoder = DecoderKind::UnionFind;
                     let p = ls_ler(&pas, config.shots, config.seed + 20, config.threads);
                     let a = ls_ler(&pol, config.shots, config.seed + 21, config.threads);
                     let r = reduction(&p, &a);
@@ -366,7 +369,12 @@ pub mod fig21_table5 {
         let mut fig = Table::new(
             "fig21_neutral_atom",
             format!("Reduction vs Passive on QuEra (d = {d}, averaged over T_P')"),
-            ["tau (ms)", "Active", "Hybrid (eps: 0.1ms)", "Hybrid (eps: 0.4ms)"],
+            [
+                "tau (ms)",
+                "Active",
+                "Hybrid (eps: 0.1ms)",
+                "Hybrid (eps: 0.4ms)",
+            ],
         );
         for &tau_ms in &taus_ms {
             let mut row = vec![format!("{tau_ms}")];
@@ -374,15 +382,14 @@ pub mod fig21_table5 {
                 let mut total = 0.0;
                 let mut n = 0.0;
                 for &tpp in &tpp_ms {
-                    let mut pas =
-                        LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, tau_ms * ms);
+                    let mut pas = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, tau_ms * ms);
                     pas.t_p_ns = 2.0 * ms;
                     pas.t_p_prime_ns = tpp * ms;
-                    pas.mwpm = false;
+                    pas.decoder = DecoderKind::UnionFind;
                     let mut pol = LsSetup::homogeneous(d, &hw, policy, tau_ms * ms);
                     pol.t_p_ns = 2.0 * ms;
                     pol.t_p_prime_ns = tpp * ms;
-                    pol.mwpm = false;
+                    pol.decoder = DecoderKind::UnionFind;
                     let p = ls_ler(&pas, config.shots, config.seed, config.threads);
                     let a = ls_ler(&pol, config.shots, config.seed + 1, config.threads);
                     let r = reduction(&p, &a);
@@ -398,7 +405,9 @@ pub mod fig21_table5 {
         let mut t5 = Table::new(
             "table5_hybrid_rounds",
             "Extra rounds needed by Hybrid on QuEra (max over T_P' = 2.2/2.4/2.6 ms)",
-            ["eps (ms)", "tau=0.2", "tau=0.6", "tau=1.0", "tau=1.6", "tau=2.0"],
+            [
+                "eps (ms)", "tau=0.2", "tau=0.6", "tau=1.0", "tau=1.6", "tau=2.0",
+            ],
         );
         for eps_ms in [0.1, 0.4] {
             let mut row = vec![format!("{eps_ms}")];
@@ -433,7 +442,10 @@ pub mod table1 {
         let hw = HardwareConfig::table1();
         let mut t = Table::new(
             "table1_error_counts",
-            format!("Logical errors out of {} shots (T1=25us, T2=40us)", config.shots),
+            format!(
+                "Logical errors out of {} shots (T1=25us, T2=40us)",
+                config.shots
+            ),
             ["slack (ns)", "d", "Passive", "Active", "% reduction"],
         );
         for tau in [500.0, 1000.0] {
@@ -484,7 +496,7 @@ pub mod table2 {
             let mut setup = LsSetup::homogeneous(d, &hw, policy, 1000.0);
             setup.t_p_ns = 1000.0;
             setup.t_p_prime_ns = 1325.0;
-            setup.mwpm = false; // the 52-round Extra-Rounds circuit is large
+            setup.decoder = DecoderKind::UnionFind; // the 52-round Extra-Rounds circuit is large
             let plan = setup.plan();
             let l = ls_ler(&setup, config.shots, config.seed, config.threads);
             t.push_row([

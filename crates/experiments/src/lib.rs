@@ -23,10 +23,12 @@
 pub mod case_figs;
 pub mod decode_figs;
 pub mod ler_figs;
+pub mod pipeline;
 pub mod runner;
 pub mod solver_figs;
 mod table;
 
+pub use pipeline::{EvalPipeline, EvalPipelineBuilder};
 pub use runner::{ls_ler, LsSetup};
 pub use table::Table;
 

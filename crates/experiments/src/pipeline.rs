@@ -1,0 +1,385 @@
+//! The unified circuit → DEM → decoder → LER evaluation pipeline.
+//!
+//! Every experiment, example and integration test used to hand-roll
+//! the same five-step chain — build a schedule, lower it through a
+//! noise model, extract the detector error model, build a decoding
+//! graph and decoder, then Monte-Carlo the logical error rate — each
+//! with its own ad-hoc decoder branch. [`EvalPipeline`] owns that chain
+//! end to end: a builder configures the circuit source, noise scale,
+//! [`DecoderKind`], and the shot/batch/seed/thread parameters, and
+//! [`EvalPipeline::run`] produces per-observable
+//! [`BinomialEstimate`]s. The intermediate artifacts (noisy circuit,
+//! DEM, decoding graph, decoder) stay accessible for studies that need
+//! more than the final rates (syndrome statistics, latency probes,
+//! raw sampling).
+//!
+//! Results are bit-identical to the hand-rolled chain for the same
+//! parameters: the pipeline performs exactly the same calls in the
+//! same order (asserted by the facade's `tests/pipeline.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use ftqc_decoder::DecoderKind;
+//! use ftqc_experiments::EvalPipeline;
+//! use ftqc_noise::HardwareConfig;
+//! use ftqc_surface::MemoryConfig;
+//!
+//! let hw = HardwareConfig::ibm();
+//! let ler = EvalPipeline::memory(MemoryConfig::new(3, 4, &hw))
+//!     .decoder(DecoderKind::Mwpm)
+//!     .shots(2_000)
+//!     .seed(7)
+//!     .build()
+//!     .run();
+//! assert!(ler[0].rate() < 0.2); // far below the 50% guess rate
+//! ```
+
+use ftqc_circuit::{Circuit, Schedule};
+use ftqc_decoder::{evaluate_ler, AnyDecoder, DecoderKind, DecodingGraph};
+use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
+use ftqc_sim::{BinomialEstimate, DemStats, DetectorErrorModel};
+use ftqc_surface::{LatticeSurgeryConfig, MemoryConfig, RepetitionConfig};
+
+/// Where the pipeline's circuit comes from.
+enum Source {
+    /// Single-patch memory experiment.
+    Memory(MemoryConfig),
+    /// Two-patch Lattice Surgery experiment.
+    Surgery(LatticeSurgeryConfig),
+    /// Three-qubit repetition code (Fig. 1c).
+    Repetition(RepetitionConfig),
+    /// An explicit timed schedule plus the hardware that lowers it.
+    Schedule(Schedule, HardwareConfig),
+    /// A circuit that has already been lowered through a noise model
+    /// (the noise options are ignored for this source).
+    Noisy(Circuit),
+}
+
+/// Builder for [`EvalPipeline`]; construct via the `EvalPipeline`
+/// source constructors ([`EvalPipeline::memory`],
+/// [`EvalPipeline::lattice_surgery`], …).
+pub struct EvalPipelineBuilder {
+    source: Source,
+    physical_error: f64,
+    noise: Option<CircuitNoiseModel>,
+    decompose_dem: bool,
+    decoder: DecoderKind,
+    decoder_seed: Option<u64>,
+    shots: u64,
+    batch_shots: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl EvalPipelineBuilder {
+    fn new(source: Source) -> EvalPipelineBuilder {
+        EvalPipelineBuilder {
+            source,
+            physical_error: 1e-3,
+            noise: None,
+            decompose_dem: true,
+            decoder: DecoderKind::UnionFind,
+            decoder_seed: None,
+            shots: 20_000,
+            batch_shots: 1024,
+            seed: 0,
+            threads: 2,
+        }
+    }
+
+    /// Physical error rate of the standard circuit noise model
+    /// (default `1e-3`; ignored when [`noise_model`] or a pre-lowered
+    /// circuit is supplied).
+    ///
+    /// [`noise_model`]: EvalPipelineBuilder::noise_model
+    pub fn physical_error(mut self, p: f64) -> Self {
+        self.physical_error = p;
+        self
+    }
+
+    /// Replaces the standard noise model entirely (e.g.
+    /// [`CircuitNoiseModel::ideal`] for determinism checks).
+    pub fn noise_model(mut self, model: CircuitNoiseModel) -> Self {
+        self.noise = Some(model);
+        self
+    }
+
+    /// Decoder family and configuration (default union-find).
+    pub fn decoder(mut self, kind: DecoderKind) -> Self {
+        self.decoder = kind;
+        self
+    }
+
+    /// Seed for sampling-trained decoders (defaults to the evaluation
+    /// seed) — split them when the training stream must stay fixed
+    /// across an evaluation sweep, as Fig. 1(c) does.
+    pub fn decoder_seed(mut self, seed: u64) -> Self {
+        self.decoder_seed = Some(seed);
+        self
+    }
+
+    /// Monte-Carlo shots (default 20 000).
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Shots per sampling batch (default 1024). Results are
+    /// deterministic for fixed `(seed, batch_shots)` regardless of
+    /// thread count.
+    pub fn batch_shots(mut self, batch_shots: usize) -> Self {
+        self.batch_shots = batch_shots;
+        self
+    }
+
+    /// Base RNG seed for the evaluation (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads for the evaluation (default 2).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Whether to CSS-decompose DEM hyperedges into graphlike
+    /// mechanisms (default true — required by the matching decoders).
+    pub fn decompose_dem(mut self, decompose: bool) -> Self {
+        self.decompose_dem = decompose;
+        self
+    }
+
+    /// Executes the front half of the chain (circuit lowering, DEM
+    /// extraction, graph construction), returning the ready pipeline.
+    /// The configured decoder is built lazily on first use, so
+    /// pipelines driven only through
+    /// [`run_with`](EvalPipeline::run_with) /
+    /// [`build_decoder`](EvalPipeline::build_decoder) never pay for it.
+    pub fn build(self) -> EvalPipeline {
+        let circuit = self.build_circuit();
+        let (dem, dem_stats) = DetectorErrorModel::from_circuit(&circuit, self.decompose_dem);
+        let graph = DecodingGraph::from_dem(&dem);
+        EvalPipeline {
+            circuit,
+            dem,
+            dem_stats,
+            graph,
+            kind: self.decoder,
+            decoder: std::sync::OnceLock::new(),
+            decoder_seed: self.decoder_seed,
+            shots: self.shots,
+            batch_shots: self.batch_shots,
+            seed: self.seed,
+            threads: self.threads,
+        }
+    }
+
+    /// Lowers the circuit source through the noise model and stops
+    /// there — for sampling-only studies (syndrome statistics, raw
+    /// flip rates) that never decode and should not pay for DEM
+    /// extraction or graph construction.
+    pub fn build_circuit(&self) -> Circuit {
+        match &self.source {
+            Source::Memory(cfg) => self.lower(&cfg.build(), &cfg.hardware),
+            Source::Surgery(cfg) => self.lower(&cfg.build(), &cfg.hardware),
+            Source::Repetition(cfg) => self.lower(&cfg.build(), &cfg.hardware),
+            Source::Schedule(schedule, hardware) => self.lower(schedule, hardware),
+            Source::Noisy(circuit) => circuit.clone(),
+        }
+    }
+
+    fn lower(&self, schedule: &Schedule, hardware: &HardwareConfig) -> Circuit {
+        match &self.noise {
+            Some(model) => model.apply(schedule),
+            None => CircuitNoiseModel::standard(self.physical_error, hardware).apply(schedule),
+        }
+    }
+}
+
+/// The prepared circuit → DEM → decoder chain; see the
+/// [module docs](self).
+pub struct EvalPipeline {
+    circuit: Circuit,
+    dem: DetectorErrorModel,
+    dem_stats: DemStats,
+    graph: DecodingGraph,
+    kind: DecoderKind,
+    decoder: std::sync::OnceLock<AnyDecoder>,
+    decoder_seed: Option<u64>,
+    shots: u64,
+    batch_shots: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl EvalPipeline {
+    /// Pipeline over a single-patch memory experiment.
+    pub fn memory(cfg: MemoryConfig) -> EvalPipelineBuilder {
+        EvalPipelineBuilder::new(Source::Memory(cfg))
+    }
+
+    /// Pipeline over the two-patch Lattice Surgery experiment.
+    pub fn lattice_surgery(cfg: LatticeSurgeryConfig) -> EvalPipelineBuilder {
+        EvalPipelineBuilder::new(Source::Surgery(cfg))
+    }
+
+    /// Pipeline over the three-qubit repetition code of Fig. 1(c).
+    pub fn repetition(cfg: RepetitionConfig) -> EvalPipelineBuilder {
+        EvalPipelineBuilder::new(Source::Repetition(cfg))
+    }
+
+    /// Pipeline over an explicit timed schedule, lowered with
+    /// `hardware`'s noise parameters.
+    pub fn schedule(schedule: Schedule, hardware: &HardwareConfig) -> EvalPipelineBuilder {
+        EvalPipelineBuilder::new(Source::Schedule(schedule, hardware.clone()))
+    }
+
+    /// Pipeline over an already-lowered noisy circuit (the noise
+    /// options are ignored).
+    pub fn noisy_circuit(circuit: Circuit) -> EvalPipelineBuilder {
+        EvalPipelineBuilder::new(Source::Noisy(circuit))
+    }
+
+    /// Samples, decodes and returns one logical-error estimate per
+    /// observable, exactly as
+    /// [`evaluate_ler`](ftqc_decoder::evaluate_ler) does.
+    pub fn run(&self) -> Vec<BinomialEstimate> {
+        evaluate_ler(
+            &self.circuit,
+            self.decoder(),
+            self.shots,
+            self.batch_shots,
+            self.seed,
+            self.threads,
+        )
+    }
+
+    /// Runs the evaluation under a *different* decoder kind over the
+    /// same prepared circuit/DEM/graph — the seam decoder-comparison
+    /// studies use so artifacts are shared rather than rebuilt.
+    pub fn run_with(&self, kind: DecoderKind) -> Vec<BinomialEstimate> {
+        let decoder = self.build_decoder(kind);
+        evaluate_ler(
+            &self.circuit,
+            &decoder,
+            self.shots,
+            self.batch_shots,
+            self.seed,
+            self.threads,
+        )
+    }
+
+    /// Builds an additional decoder of `kind` over this pipeline's
+    /// graph (sampling-trained kinds train on this pipeline's circuit
+    /// with the configured decoder seed).
+    pub fn build_decoder(&self, kind: DecoderKind) -> AnyDecoder {
+        kind.build(
+            &self.circuit,
+            self.graph.clone(),
+            self.decoder_seed.unwrap_or(self.seed),
+        )
+    }
+
+    /// The noisy circuit under evaluation.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The extracted detector error model.
+    pub fn dem(&self) -> &DetectorErrorModel {
+        &self.dem
+    }
+
+    /// Extraction statistics (hyperedge drops etc.).
+    pub fn dem_stats(&self) -> &DemStats {
+        &self.dem_stats
+    }
+
+    /// The decoding graph shared by every decoder this pipeline builds.
+    pub fn graph(&self) -> &DecodingGraph {
+        &self.graph
+    }
+
+    /// The configured decoder (built on first use).
+    pub fn decoder(&self) -> &AnyDecoder {
+        self.decoder.get_or_init(|| self.build_decoder(self.kind))
+    }
+
+    /// The configured decoder kind.
+    pub fn decoder_kind(&self) -> DecoderKind {
+        self.kind
+    }
+
+    /// Evaluation shot count.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Evaluation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_noise::HardwareConfig;
+
+    fn d3_memory() -> MemoryConfig {
+        MemoryConfig::new(3, 4, &HardwareConfig::ibm())
+    }
+
+    #[test]
+    fn pipeline_matches_direct_chain_bit_for_bit() {
+        let cfg = d3_memory();
+        let pipeline = EvalPipeline::memory(cfg.clone())
+            .decoder(DecoderKind::UnionFind)
+            .shots(2_000)
+            .batch_shots(256)
+            .seed(42)
+            .threads(2)
+            .build();
+        // The pre-refactor hand-rolled chain, spelled out.
+        let circuit = CircuitNoiseModel::standard(1e-3, &cfg.hardware).apply(&cfg.build());
+        let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+        let direct = ftqc_decoder::UfDecoder::new(DecodingGraph::from_dem(&dem));
+        let direct_ler = evaluate_ler(&circuit, &direct, 2_000, 256, 42, 2);
+        let pipeline_ler = pipeline.run();
+        assert_eq!(direct_ler.len(), pipeline_ler.len());
+        for (d, p) in direct_ler.iter().zip(&pipeline_ler) {
+            assert_eq!(d.successes(), p.successes());
+            assert_eq!(d.trials(), p.trials());
+        }
+    }
+
+    #[test]
+    fn run_with_shares_artifacts() {
+        let pipeline = EvalPipeline::memory(d3_memory())
+            .shots(1_000)
+            .seed(3)
+            .build();
+        let uf = pipeline.run();
+        let mwpm = pipeline.run_with(DecoderKind::Mwpm);
+        assert_eq!(uf.len(), mwpm.len());
+        assert_eq!(pipeline.decoder_kind(), DecoderKind::UnionFind);
+        assert_eq!(pipeline.dem_stats().dropped_hyperedges, 0);
+    }
+
+    #[test]
+    fn noisy_circuit_source_skips_lowering() {
+        let cfg = d3_memory();
+        let circuit = CircuitNoiseModel::standard(1e-3, &cfg.hardware).apply(&cfg.build());
+        let a = EvalPipeline::noisy_circuit(circuit.clone())
+            .shots(500)
+            .seed(9)
+            .build()
+            .run();
+        let b = EvalPipeline::memory(cfg).shots(500).seed(9).build().run();
+        assert_eq!(a[0].successes(), b[0].successes());
+        assert_eq!(circuit.num_observables(), 1);
+    }
+}

@@ -1,8 +1,9 @@
 //! Shared Lattice Surgery evaluation plumbing.
 
-use ftqc_decoder::{evaluate_ler, DecodingGraph, MwpmDecoder, UfDecoder};
-use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
-use ftqc_sim::{BinomialEstimate, DetectorErrorModel};
+use crate::pipeline::EvalPipeline;
+use ftqc_decoder::DecoderKind;
+use ftqc_noise::HardwareConfig;
+use ftqc_sim::BinomialEstimate;
 use ftqc_surface::{LatticeSurgeryConfig, LsBasis};
 use ftqc_sync::{plan_sync, SyncPlan, SyncPolicy};
 
@@ -27,21 +28,24 @@ pub struct LsSetup {
     /// Extra rounds added to *both* patches before the merge (the `R`
     /// of paper Fig. 18).
     pub extra_rounds_both: u32,
-    /// Decode with MWPM instead of union-find.
-    pub mwpm: bool,
+    /// Decoder family used for the evaluation.
+    pub decoder: DecoderKind,
 }
 
 impl LsSetup {
     /// A same-cycle-time setup (only Passive/Active/Active-intra are
     /// meaningful) on the given hardware.
     ///
-    /// Decodes with exact matching up to `d = 5` and union-find beyond:
-    /// the UF approximation systematically (if slightly) favours
-    /// Passive's *clustered* idle errors over Active's distributed
-    /// ones, inverting sub-percent comparisons in weak-idle regimes —
-    /// the paper's PyMatching baseline has no such bias, and neither
-    /// does our exact matcher (see EXPERIMENTS.md).
-    pub fn homogeneous(d: u32, hardware: &HardwareConfig, policy: SyncPolicy, tau_ns: f64) -> LsSetup {
+    /// Decodes with [`DecoderKind::for_distance`]: exact matching up to
+    /// `d = 5` and union-find beyond — the paper's PyMatching baseline
+    /// has no UF clustering bias, and neither does our exact matcher
+    /// (see EXPERIMENTS.md).
+    pub fn homogeneous(
+        d: u32,
+        hardware: &HardwareConfig,
+        policy: SyncPolicy,
+        tau_ns: f64,
+    ) -> LsSetup {
         let t = hardware.cycle_time_ns();
         LsSetup {
             d,
@@ -52,7 +56,7 @@ impl LsSetup {
             t_p_ns: t,
             t_p_prime_ns: t,
             extra_rounds_both: 0,
-            mwpm: d <= 5,
+            decoder: DecoderKind::for_distance(d),
         }
     }
 
@@ -79,27 +83,31 @@ impl LsSetup {
         })
         .expect("active planning is total")
     }
+
+    /// The Lattice Surgery circuit configuration this setup induces
+    /// (basis, pre-merge rounds, synchronization plan and lagging-patch
+    /// stretch), ready for [`EvalPipeline::lattice_surgery`].
+    pub fn surgery_config(&self) -> LatticeSurgeryConfig {
+        let mut cfg = LatticeSurgeryConfig::new(self.d, &self.hardware);
+        cfg.basis = self.basis;
+        cfg.pre_rounds = self.d + 1 + self.extra_rounds_both;
+        cfg.plan = self.plan();
+        cfg.lagging_round_stretch_ns = (self.t_p_prime_ns - self.t_p_ns).max(0.0);
+        cfg
+    }
 }
 
 /// Runs the Fig. 13 experiment for `setup`, returning per-observable
 /// logical-error estimates (`[P, P', merged]`).
 pub fn ls_ler(setup: &LsSetup, shots: u64, seed: u64, threads: usize) -> Vec<BinomialEstimate> {
-    let mut cfg = LatticeSurgeryConfig::new(setup.d, &setup.hardware);
-    cfg.basis = setup.basis;
-    cfg.pre_rounds = setup.d + 1 + setup.extra_rounds_both;
-    cfg.plan = setup.plan();
-    cfg.lagging_round_stretch_ns = (setup.t_p_prime_ns - setup.t_p_ns).max(0.0);
-    let circuit = CircuitNoiseModel::standard(1e-3, &setup.hardware).apply(&cfg.build());
-    let (dem, stats) = DetectorErrorModel::from_circuit(&circuit, true);
-    debug_assert_eq!(stats.dropped_hyperedges, 0);
-    let graph = DecodingGraph::from_dem(&dem);
-    if setup.mwpm {
-        let decoder = MwpmDecoder::new(graph);
-        evaluate_ler(&circuit, &decoder, shots, 1024, seed, threads)
-    } else {
-        let decoder = UfDecoder::new(graph);
-        evaluate_ler(&circuit, &decoder, shots, 1024, seed, threads)
-    }
+    let pipeline = EvalPipeline::lattice_surgery(setup.surgery_config())
+        .decoder(setup.decoder)
+        .shots(shots)
+        .seed(seed)
+        .threads(threads)
+        .build();
+    debug_assert_eq!(pipeline.dem_stats().dropped_hyperedges, 0);
+    pipeline.run()
 }
 
 /// The paper's "Reduction" metric: `LER_passive / LER_policy`, averaged

@@ -16,16 +16,7 @@ pub mod fig10 {
             "Extra rounds for pure Extra-Rounds synchronization (T_P = 1000 ns)",
             ["T_P' (ns)", "tau (ns)", "extra rounds", "paper"],
         );
-        let paper = [
-            "Not possible",
-            "5",
-            "11",
-            "22",
-            "26",
-            "52",
-            "34",
-            "68",
-        ];
+        let paper = ["Not possible", "5", "11", "22", "26", "52", "34", "68"];
         let configs = [
             (1200.0, 500.0),
             (1200.0, 1000.0),
@@ -113,6 +104,9 @@ mod tests {
         let filled = |v: &Vec<&String>| v.iter().filter(|c| !c.is_empty() && *c != &"-").count();
         // eps = 400 admits at least as many solutions as eps = 100.
         assert!(filled(&flat400) >= filled(&flat100));
-        assert!(flat100.iter().any(|c| c.is_empty()), "some infeasible cells");
+        assert!(
+            flat100.iter().any(|c| c.is_empty()),
+            "some infeasible cells"
+        );
     }
 }

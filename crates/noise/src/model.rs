@@ -321,11 +321,7 @@ mod tests {
     fn annotations_pass_through() {
         let mut s = Schedule::new(1);
         s.push(0.0, 100.0, Op::measure_z([0], 0.0));
-        s.push(
-            100.0,
-            0.0,
-            Op::detector([MeasRef(0)], DetectorBasis::Z),
-        );
+        s.push(100.0, 0.0, Op::detector([MeasRef(0)], DetectorBasis::Z));
         s.push(
             100.0,
             0.0,

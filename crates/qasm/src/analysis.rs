@@ -94,9 +94,7 @@ fn gate_costs(g: &Gate, eps: f64) -> (u64, u64) {
         "ccx" | "ccz" => (7, 6),
         "rz" | "rx" | "ry" | "p" | "u1" => (rotation_t_cost(g.params[0], eps), 0),
         // Controlled phase: 3 rotations of theta/2 + 2 CNOTs.
-        "cp" | "cu1" | "crz" | "crx" | "cry" => {
-            (3 * rotation_t_cost(g.params[0] / 2.0, eps), 2)
-        }
+        "cp" | "cu1" | "crz" | "crx" | "cry" => (3 * rotation_t_cost(g.params[0] / 2.0, eps), 2),
         "rzz" | "rxx" | "ryy" => (rotation_t_cost(g.params[0], eps), 2),
         "u" | "u3" | "u2" => {
             // Euler decomposition: up to three rotations.

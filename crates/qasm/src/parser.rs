@@ -112,7 +112,8 @@ impl Program {
     /// registers or out-of-range indices.
     pub fn parse(src: &str) -> Result<Program, ParseError> {
         let mut prog = Program::default();
-        let mut regs: HashMap<String, (u32, u32)> = HashMap::new(); // name -> (offset, size)
+        // name -> (offset, size)
+        let mut regs: HashMap<String, (u32, u32)> = HashMap::new();
         // Statements are `;`-separated; track line numbers roughly.
         let mut line_no = 0usize;
         for raw_line in src.lines() {
@@ -183,9 +184,7 @@ impl Program {
             match arg.find('[') {
                 Some(i) => {
                     let reg = &arg[..i];
-                    let close = arg
-                        .rfind(']')
-                        .ok_or_else(|| err(line, "unclosed index"))?;
+                    let close = arg.rfind(']').ok_or_else(|| err(line, "unclosed index"))?;
                     let idx: u32 = arg[i + 1..close]
                         .parse()
                         .map_err(|_| err(line, "bad qubit index"))?;

@@ -188,7 +188,10 @@ impl<'a> Extractor<'a> {
                     for &q in qs {
                         let q = q as usize;
                         self.eff_x.swap(q, q); // no-op to appease clippy
-                        let (x, z) = (std::mem::take(&mut self.eff_x[q]), std::mem::take(&mut self.eff_z[q]));
+                        let (x, z) = (
+                            std::mem::take(&mut self.eff_x[q]),
+                            std::mem::take(&mut self.eff_z[q]),
+                        );
                         self.eff_x[q] = z;
                         self.eff_z[q] = x;
                     }
@@ -404,12 +407,9 @@ impl<'a> Extractor<'a> {
                 }
             }
             use std::collections::HashSet;
-            let edge_set: HashSet<Vec<u32>> =
-                elementary.iter().map(|(d, _)| d.clone()).collect();
-            let obs_for: HashMap<Vec<u32>, u32> = elementary
-                .iter()
-                .map(|(d, o)| (d.clone(), *o))
-                .collect();
+            let edge_set: HashSet<Vec<u32>> = elementary.iter().map(|(d, _)| d.clone()).collect();
+            let obs_for: HashMap<Vec<u32>, u32> =
+                elementary.iter().map(|(d, o)| (d.clone(), *o)).collect();
             for c in pending {
                 stats.decomposed_hyperedges += 1;
                 match decompose_against(&c.detectors, &edge_set) {
@@ -425,8 +425,7 @@ impl<'a> Extractor<'a> {
                         for (i, part) in parts.iter().enumerate() {
                             let mut o = known[i];
                             if i == 0 {
-                                let total_known: u32 =
-                                    known.iter().fold(0, |a, b| a ^ b);
+                                let total_known: u32 = known.iter().fold(0, |a, b| a ^ b);
                                 o ^= c.observables ^ total_known;
                             }
                             assigned ^= o;
@@ -685,6 +684,9 @@ mod tests {
             .sum();
         let batch = crate::sample_batch(&c, 400_000, 17);
         let measured = batch.count_detector_flips(0) as f64 / 400_000.0;
-        assert!((p0 - measured).abs() < 0.005, "dem {p0} vs sampled {measured}");
+        assert!(
+            (p0 - measured).abs() < 0.005,
+            "dem {p0} vs sampled {measured}"
+        );
     }
 }

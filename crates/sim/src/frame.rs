@@ -337,7 +337,9 @@ impl SampleBatch {
 
     /// Syndrome Hamming weight (number of flagged detectors) of shot `s`.
     pub fn hamming_weight(&self, s: usize) -> usize {
-        (0..self.num_detectors).filter(|&d| self.detector(d, s)).count()
+        (0..self.num_detectors)
+            .filter(|&d| self.detector(d, s))
+            .count()
     }
 }
 

@@ -57,7 +57,10 @@ where
     let mut results: Vec<Option<R>> = Vec::with_capacity(num_batches as usize);
     results.resize_with(num_batches as usize, || None);
     let next = std::sync::atomic::AtomicU64::new(0);
-    let results_cell = std::sync::Mutex::new(&mut results);
+    // Lock-free result collection: every worker writes straight into
+    // its claimed batch's slot. The atomic counter hands each batch
+    // index to exactly one worker, so all writes are disjoint.
+    let slots = SlotWriter(results.as_mut_ptr());
     std::thread::scope(|scope| {
         for _ in 0..threads.min(num_batches as usize) {
             scope.spawn(|| loop {
@@ -72,7 +75,11 @@ where
                 };
                 let batch = sample_batch(circuit, this_shots, mix_seed(seed, b));
                 let r = f(&batch);
-                results_cell.lock().expect("poisoned")[b as usize] = Some(r);
+                // SAFETY: `b < num_batches` (checked above) indexes
+                // within the pre-sized vec, each index is claimed by
+                // exactly one worker via `fetch_add`, and the scope
+                // joins every worker before `results` is read again.
+                unsafe { slots.write(b as usize, r) };
             });
         }
     });
@@ -81,6 +88,30 @@ where
         .map(|r| r.expect("all batches processed"))
         .collect()
 }
+
+/// Shared base pointer into the per-batch result slots.
+///
+/// Safety contract (upheld by [`parallel_batches`]): concurrent
+/// [`SlotWriter::write`] calls must target distinct indices within the
+/// allocation, and the owning vec must outlive all writers.
+struct SlotWriter<R>(*mut Option<R>);
+
+impl<R> SlotWriter<R> {
+    /// Writes `value` into slot `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds and not concurrently accessed.
+    unsafe fn write(&self, index: usize, value: R) {
+        unsafe { *self.0.add(index) = Some(value) };
+    }
+}
+
+// SAFETY: a SlotWriter is only a base address; the disjointness of the
+// writes performed through it is guaranteed by the batch-index claim
+// protocol above.
+unsafe impl<R: Send> Send for SlotWriter<R> {}
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
 
 #[cfg(test)]
 mod tests {
@@ -118,6 +149,17 @@ mod tests {
         assert_eq!(sizes.iter().sum::<u64>(), 1000);
         assert_eq!(sizes.len(), 4);
         assert_eq!(sizes[3], 100);
+    }
+
+    #[test]
+    fn oversubscribed_threads_fill_every_slot() {
+        // More workers than batches and tiny batches: stresses the
+        // disjoint per-slot writes of the lock-free collection path.
+        let c = noisy_circuit();
+        let a = parallel_batches(&c, 4_097, 64, 9, 16, |b| b.count_detector_flips(0));
+        let b = parallel_batches(&c, 4_097, 64, 9, 1, |b| b.count_detector_flips(0));
+        assert_eq!(a.len(), 65);
+        assert_eq!(a, b);
     }
 
     #[test]

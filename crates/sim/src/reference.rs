@@ -40,7 +40,9 @@ pub fn run_reference(circuit: &Circuit, seed: u64) -> ReferenceRun {
             Op::Z(qs) => qs
                 .iter()
                 .for_each(|&q| sim.pauli(q as usize, ftqc_pauli::Pauli::Z)),
-            Op::Cx(pairs) => pairs.iter().for_each(|&(c, t)| sim.cx(c as usize, t as usize)),
+            Op::Cx(pairs) => pairs
+                .iter()
+                .for_each(|&(c, t)| sim.cx(c as usize, t as usize)),
             Op::ResetZ(qs) => qs
                 .iter()
                 .for_each(|&q| sim.reset_z(q as usize, || rng.gen())),

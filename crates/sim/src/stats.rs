@@ -66,10 +66,7 @@ impl BinomialEstimate {
 
     /// Merges two independent estimates over the same process.
     pub fn merged(&self, other: &BinomialEstimate) -> BinomialEstimate {
-        BinomialEstimate::new(
-            self.successes + other.successes,
-            self.trials + other.trials,
-        )
+        BinomialEstimate::new(self.successes + other.successes, self.trials + other.trials)
     }
 
     /// The ratio `self.rate() / other.rate()` (the paper's "Reduction"

@@ -164,13 +164,7 @@ impl Emitter {
     /// Emits reset of the given data qubits (odd-basis init for data,
     /// i.e. `|+>` for Z-basis surgery) and Z-reset of ancillas, ending
     /// at `end`.
-    fn emit_init(
-        &mut self,
-        end: f64,
-        data: &[Qubit],
-        buffer_even_basis: bool,
-        ancillas: &[Qubit],
-    ) {
+    fn emit_init(&mut self, end: f64, data: &[Qubit], buffer_even_basis: bool, ancillas: &[Qubit]) {
         let t = end - self.hw.reset_ns;
         let data_op = match (self.basis.odd_is_x(), buffer_even_basis) {
             // Patch data is initialized in the odd-check basis; the
@@ -251,8 +245,11 @@ impl Emitter {
         t += hw.gate_1q_ns + g + stretch_ns;
         // Measure-and-reset all ancillas; emit detectors.
         let meas_qubits: Vec<Qubit> = ancillas.iter().map(|a| anc_index[&(a.a, a.b)]).collect();
-        self.sched
-            .push(t, hw.readout_ns + hw.reset_ns, Op::measure_reset(&mut meas_qubits.clone().into_iter(), 0.0));
+        self.sched.push(
+            t,
+            hw.readout_ns + hw.reset_ns,
+            Op::measure_reset(meas_qubits, 0.0),
+        );
         let first_rec = self.records;
         self.records += ancillas.len() as u32;
         t += hw.readout_ns + hw.reset_ns;
@@ -260,7 +257,11 @@ impl Emitter {
         for (k, anc) in ancillas.iter().enumerate() {
             let rec = MeasRef(first_rec + k as u32);
             let key = (anc.a, anc.b);
-            let coords = [2.0 * anc.a as f64, 2.0 * anc.b as f64, self.round_tag as f64];
+            let coords = [
+                2.0 * anc.a as f64,
+                2.0 * anc.b as f64,
+                self.round_tag as f64,
+            ];
             match self.last_meas.get(&key) {
                 Some(prev) => {
                     self.sched.push(
@@ -385,7 +386,10 @@ impl Emitter {
 pub fn lattice_surgery_schedule(cfg: &LatticeSurgeryConfig) -> Schedule {
     let d = cfg.distance;
     assert!(d % 2 == 1, "code distance must be odd");
-    assert!(cfg.pre_rounds > 0 && cfg.merged_rounds > 0, "rounds must be positive");
+    assert!(
+        cfg.pre_rounds > 0 && cfg.merged_rounds > 0,
+        "rounds must be positive"
+    );
     let plan = &cfg.plan;
     let rounds_p = cfg.pre_rounds + plan.extra_rounds;
     assert_eq!(
@@ -497,7 +501,11 @@ pub fn lattice_surgery_schedule(cfg: &LatticeSurgeryConfig) -> Schedule {
     let mut t = merge_at;
     let mut seam_records: Vec<MeasRef> = Vec::new();
     for r in 0..cfg.merged_rounds {
-        let seam = if r == 0 { Some(&mut seam_records) } else { None };
+        let seam = if r == 0 {
+            Some(&mut seam_records)
+        } else {
+            None
+        };
         t = em.round(t, &m_anc, &anc_index, false, seam, 0.0, 0.0);
     }
     em.sched.push(

@@ -237,10 +237,7 @@ mod tests {
         let anc = l.ancillas();
         for x in anc.iter().filter(|a| a.kind == StabKind::Odd) {
             for z in anc.iter().filter(|a| a.kind == StabKind::Even) {
-                let overlap = x
-                    .support()
-                    .filter(|q| z.support().any(|p| p == *q))
-                    .count();
+                let overlap = x.support().filter(|q| z.support().any(|p| p == *q)).count();
                 assert!(
                     overlap % 2 == 0,
                     "anticommuting pair at ({},{}) / ({},{})",

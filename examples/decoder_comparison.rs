@@ -1,54 +1,70 @@
 //! Compare the decoding stack on a surface-code memory: union-find vs
 //! exact matching vs a capacity-limited lookup table, plus the
 //! hierarchical LUT+MWPM decoder with its latency model (paper
-//! Fig. 22's machinery).
+//! Fig. 22's machinery). Every decoder is built through the unified
+//! [`DecoderKind`]/[`EvalPipeline`] layer over one shared
+//! circuit → DEM → graph preparation.
 //!
 //! ```text
 //! cargo run --release --example decoder_comparison
 //! ```
 
-use ftqc::decoder::{
-    evaluate_ler, DecodingGraph, HierarchicalDecoder, LatencyModel, LutDecoder, MwpmDecoder,
-    UfDecoder,
-};
-use ftqc::noise::{CircuitNoiseModel, HardwareConfig};
-use ftqc::sim::{sample_batch, DetectorErrorModel};
+use ftqc::decoder::{DecoderKind, HierarchicalDecoder, LatencyModel};
+use ftqc::experiments::EvalPipeline;
+use ftqc::noise::HardwareConfig;
+use ftqc::sim::sample_batch;
 use ftqc::surface::MemoryConfig;
 
 fn main() {
     let hw = HardwareConfig::ibm();
     let d = 3;
     let shots = 50_000;
-    let circuit = CircuitNoiseModel::standard(2e-3, &hw).apply(&MemoryConfig::new(d, d + 1, &hw).build());
-    let (dem, stats) = DetectorErrorModel::from_circuit(&circuit, true);
+    let pipeline = EvalPipeline::memory(MemoryConfig::new(d, d + 1, &hw))
+        .physical_error(2e-3)
+        .decoder(DecoderKind::UnionFind)
+        .decoder_seed(1)
+        .shots(shots)
+        .seed(9)
+        .threads(2)
+        .build();
     println!(
         "d = {d} memory: {} detectors, {} error mechanisms ({} dropped)\n",
-        circuit.num_detectors(),
-        dem.mechanisms().len(),
-        stats.dropped_hyperedges
+        pipeline.circuit().num_detectors(),
+        pipeline.dem().mechanisms().len(),
+        pipeline.dem_stats().dropped_hyperedges
     );
-    let graph = DecodingGraph::from_dem(&dem);
 
-    let uf = UfDecoder::new(graph.clone());
-    let mwpm = MwpmDecoder::new(graph.clone());
-    let lut = LutDecoder::train(&circuit, 50_000, 1, 3 * 1024);
     println!("decoder     LER (observable 0)");
-    for (name, ler) in [
-        ("union-find", evaluate_ler(&circuit, &uf, shots, 1024, 9, 2)),
-        ("MWPM", evaluate_ler(&circuit, &mwpm, shots, 1024, 9, 2)),
-        ("LUT (3KB)", evaluate_ler(&circuit, &lut, shots, 1024, 9, 2)),
+    for (name, kind) in [
+        ("union-find", DecoderKind::UnionFind),
+        ("MWPM", DecoderKind::Mwpm),
+        (
+            "LUT (3KB)",
+            DecoderKind::Lut {
+                train_shots: 50_000,
+                capacity_bytes: 3 * 1024,
+            },
+        ),
     ] {
-        println!("{name:<12}{}", ler[0]);
+        println!("{name:<12}{}", pipeline.run_with(kind)[0]);
     }
 
-    // Hierarchical decoding with modelled latency.
-    let hier = HierarchicalDecoder::new(
-        LutDecoder::train(&circuit, 50_000, 1, 3 * 1024),
-        MwpmDecoder::new(graph),
-        LatencyModel::new(vec![600.0, 900.0, 1500.0]),
-        5,
-    );
-    let probe = sample_batch(&circuit, 20_000, 3);
+    // Hierarchical decoding with modelled latency: assembled from
+    // pipeline-built parts so the LUT and matcher share the graph.
+    let lut = pipeline
+        .build_decoder(DecoderKind::Lut {
+            train_shots: 50_000,
+            capacity_bytes: 3 * 1024,
+        })
+        .into_lut()
+        .expect("lut");
+    let mwpm = pipeline
+        .build_decoder(DecoderKind::Mwpm)
+        .into_mwpm()
+        .expect("mwpm");
+    let hier =
+        HierarchicalDecoder::new(lut, mwpm, LatencyModel::new(vec![600.0, 900.0, 1500.0]), 5);
+    let probe = sample_batch(pipeline.circuit(), 20_000, 3);
     let mut latency = 0.0;
     for s in 0..probe.shots {
         latency += hier.decode_timed(&probe.flagged_detectors(s)).latency_ns;

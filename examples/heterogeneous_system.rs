@@ -22,7 +22,10 @@ fn main() {
     //    compute patches?
     println!("qLDPC phase drift (slack vs rounds):");
     for r in [1u32, 5, 9, 10, 20] {
-        println!("  after {r:>2} rounds: {:>6.0} ns", qldpc_slack(r, t_sc, t_qldpc));
+        println!(
+            "  after {r:>2} rounds: {:>6.0} ns",
+            qldpc_slack(r, t_sc, t_qldpc)
+        );
     }
 
     // 2. How much slack does cultivation introduce?
@@ -43,7 +46,10 @@ fn main() {
     let outcome = engine
         .synchronize(&[compute, memory, t_state], SyncPolicy::hybrid(400.0), 12)
         .expect("plannable");
-    println!("\nsynchronization plans (slowest patch: {:?}):", outcome.slowest);
+    println!(
+        "\nsynchronization plans (slowest patch: {:?}):",
+        outcome.slowest
+    );
     for (id, plan) in &outcome.plans {
         println!(
             "  patch {:?}: {:>2} extra rounds, {:>6.1} ns idle ({})",

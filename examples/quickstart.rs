@@ -6,9 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ftqc::decoder::{evaluate_ler, DecodingGraph, UfDecoder};
-use ftqc::noise::{CircuitNoiseModel, HardwareConfig};
-use ftqc::sim::DetectorErrorModel;
+use ftqc::decoder::DecoderKind;
+use ftqc::experiments::EvalPipeline;
+use ftqc::noise::HardwareConfig;
 use ftqc::surface::{LatticeSurgeryConfig, OBS_MERGED, OBS_P};
 use ftqc::sync::{plan_sync, SyncPolicy};
 
@@ -17,19 +17,24 @@ fn main() {
     let d = 5;
     let tau = 1000.0; // the leading patch is 1000 ns ahead
     let shots = 40_000;
-    println!("Lattice Surgery at d = {d} on a {}-like system, slack {tau} ns\n", hw.name);
+    println!(
+        "Lattice Surgery at d = {d} on a {}-like system, slack {tau} ns\n",
+        hw.name
+    );
     for policy in [SyncPolicy::Passive, SyncPolicy::Active] {
         let t = hw.cycle_time_ns();
         let mut cfg = LatticeSurgeryConfig::new(d, &hw);
         cfg.plan = plan_sync(policy, tau, t, t, d + 1).expect("plannable");
-        let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&cfg.build());
-        let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
-        let decoder = UfDecoder::new(DecodingGraph::from_dem(&dem));
-        let ler = evaluate_ler(&circuit, &decoder, shots, 1024, 42, 2);
+        let ler = EvalPipeline::lattice_surgery(cfg)
+            .decoder(DecoderKind::UnionFind)
+            .shots(shots)
+            .seed(42)
+            .threads(2)
+            .build()
+            .run();
         println!(
             "{policy:<12} X_P: {}   X_P X_P': {}",
-            ler[OBS_P as usize],
-            ler[OBS_MERGED as usize]
+            ler[OBS_P as usize], ler[OBS_MERGED as usize]
         );
     }
     println!("\nActive slows the leading patch gradually, so the pre-merge");

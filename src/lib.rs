@@ -25,22 +25,29 @@
 //!
 //! # Quickstart
 //!
+//! The circuit → DEM → decoder → LER chain is owned end to end by
+//! [`experiments::EvalPipeline`]; pick the decoder family with
+//! [`decoder::DecoderKind`]:
+//!
 //! ```
-//! use ftqc::noise::{CircuitNoiseModel, HardwareConfig};
+//! use ftqc::decoder::DecoderKind;
+//! use ftqc::experiments::EvalPipeline;
+//! use ftqc::noise::HardwareConfig;
 //! use ftqc::surface::LatticeSurgeryConfig;
 //! use ftqc::sync::{plan_sync, SyncPolicy};
-//! use ftqc::sim::DetectorErrorModel;
-//! use ftqc::decoder::{evaluate_ler, DecodingGraph, UfDecoder};
 //!
 //! // Two d=3 patches, desynchronized by 500 ns, Active policy.
 //! let hw = HardwareConfig::ibm();
 //! let t = hw.cycle_time_ns();
 //! let mut cfg = LatticeSurgeryConfig::new(3, &hw);
 //! cfg.plan = plan_sync(SyncPolicy::Active, 500.0, t, t, 4).unwrap();
-//! let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&cfg.build());
-//! let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
-//! let decoder = UfDecoder::new(DecodingGraph::from_dem(&dem));
-//! let ler = evaluate_ler(&circuit, &decoder, 2_000, 512, 7, 2);
+//! let ler = EvalPipeline::lattice_surgery(cfg)
+//!     .decoder(DecoderKind::UnionFind)
+//!     .shots(2_000)
+//!     .batch_shots(512)
+//!     .seed(7)
+//!     .build()
+//!     .run();
 //! println!("X_P X_P' logical error rate: {}", ler[2]);
 //! ```
 

@@ -45,8 +45,8 @@ fn dem_predicts_sampler_marginals_on_memory_circuit() {
 #[test]
 fn dem_predicts_sampler_marginals_on_surgery_circuit() {
     let hw = HardwareConfig::ibm();
-    let circuit = CircuitNoiseModel::standard(1e-3, &hw)
-        .apply(&LatticeSurgeryConfig::new(3, &hw).build());
+    let circuit =
+        CircuitNoiseModel::standard(1e-3, &hw).apply(&LatticeSurgeryConfig::new(3, &hw).build());
     let predicted = dem_marginals(&circuit, false);
     let shots = 100_000usize;
     let batch = sample_batch(&circuit, shots, 77);
@@ -69,8 +69,8 @@ fn decomposed_dem_approximates_exact_marginals() {
     // marginals must stay within the Y-correlation error (second
     // order).
     let hw = HardwareConfig::ibm();
-    let circuit = CircuitNoiseModel::standard(1e-3, &hw)
-        .apply(&MemoryConfig::new(3, 4, &hw).build());
+    let circuit =
+        CircuitNoiseModel::standard(1e-3, &hw).apply(&MemoryConfig::new(3, 4, &hw).build());
     let exact = dem_marginals(&circuit, false);
     let approx = dem_marginals(&circuit, true);
     for (d, (e, a)) in exact.iter().zip(&approx).enumerate() {
@@ -84,8 +84,8 @@ fn decomposed_dem_approximates_exact_marginals() {
 #[test]
 fn generated_surgery_circuit_roundtrips_through_text() {
     let hw = HardwareConfig::ibm();
-    let circuit = CircuitNoiseModel::standard(1e-3, &hw)
-        .apply(&LatticeSurgeryConfig::new(3, &hw).build());
+    let circuit =
+        CircuitNoiseModel::standard(1e-3, &hw).apply(&LatticeSurgeryConfig::new(3, &hw).build());
     let text = circuit.to_string();
     let back = Circuit::parse(&text).expect("parses");
     assert_eq!(back.to_string(), text);

@@ -1,7 +1,8 @@
 //! Cross-crate integration tests: from policy planning through circuit
 //! generation, noise, sampling and decoding.
 
-use ftqc::decoder::{evaluate_ler, DecodingGraph, MwpmDecoder, UfDecoder};
+use ftqc::decoder::DecoderKind;
+use ftqc::experiments::EvalPipeline;
 use ftqc::noise::{CircuitNoiseModel, HardwareConfig};
 use ftqc::sim::{verify_deterministic, DetectorErrorModel};
 use ftqc::surface::{LatticeSurgeryConfig, LsBasis, MemoryConfig, OBS_MERGED};
@@ -41,7 +42,9 @@ fn controller_schedule_matches_circuit_plan_totals() {
     let mut ctl = Controller::new();
     let a = ctl.add_patch(1000, 0);
     let b = ctl.add_patch(1325, 325);
-    let tick = ctl.synchronize(&[a, b], SyncPolicy::hybrid(400.0), 8).unwrap();
+    let tick = ctl
+        .synchronize(&[a, b], SyncPolicy::hybrid(400.0), 8)
+        .unwrap();
     assert_eq!(ctl.status(a).unwrap().cycle_end_tick, tick);
     assert_eq!(ctl.status(b).unwrap().cycle_end_tick, tick);
 }
@@ -66,18 +69,32 @@ fn dem_is_graphlike_for_all_experiment_circuits() {
 #[test]
 fn memory_ler_improves_with_distance_for_both_decoders() {
     let hw = HardwareConfig::ibm();
-    let model = CircuitNoiseModel::standard(1e-3, &hw);
     let mut rates = Vec::new();
     for d in [3u32, 5] {
-        let circuit = model.apply(&MemoryConfig::new(d, d + 1, &hw).build());
-        let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
-        let graph = DecodingGraph::from_dem(&dem);
-        let uf = evaluate_ler(&circuit, &UfDecoder::new(graph.clone()), 25_000, 1024, 3, 2);
-        let mw = evaluate_ler(&circuit, &MwpmDecoder::new(graph), 25_000, 1024, 3, 2);
+        // One prepared pipeline per distance; both decoder kinds share
+        // its circuit, DEM and graph.
+        let pipeline = EvalPipeline::memory(MemoryConfig::new(d, d + 1, &hw))
+            .decoder(DecoderKind::UnionFind)
+            .shots(25_000)
+            .seed(3)
+            .threads(2)
+            .build();
+        let uf = pipeline.run();
+        let mw = pipeline.run_with(DecoderKind::Mwpm);
         rates.push((uf[0].rate(), mw[0].rate()));
     }
-    assert!(rates[1].0 < rates[0].0, "UF: d=5 {} vs d=3 {}", rates[1].0, rates[0].0);
-    assert!(rates[1].1 < rates[0].1, "MWPM: d=5 {} vs d=3 {}", rates[1].1, rates[0].1);
+    assert!(
+        rates[1].0 < rates[0].0,
+        "UF: d=5 {} vs d=3 {}",
+        rates[1].0,
+        rates[0].0
+    );
+    assert!(
+        rates[1].1 < rates[0].1,
+        "MWPM: d=5 {} vs d=3 {}",
+        rates[1].1,
+        rates[0].1
+    );
 }
 
 #[test]
@@ -90,10 +107,14 @@ fn slack_hurts_and_sync_policies_recover() {
     let run = |policy: SyncPolicy, tau: f64, seed: u64| {
         let mut cfg = LatticeSurgeryConfig::new(3, &hw);
         cfg.plan = plan_sync(policy, tau, t, t, 4).unwrap();
-        let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&cfg.build());
-        let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
-        let dec = UfDecoder::new(DecodingGraph::from_dem(&dem));
-        evaluate_ler(&circuit, &dec, shots, 1024, seed, 2)[OBS_MERGED as usize].rate()
+        EvalPipeline::lattice_surgery(cfg)
+            .decoder(DecoderKind::UnionFind)
+            .shots(shots)
+            .seed(seed)
+            .threads(2)
+            .build()
+            .run()[OBS_MERGED as usize]
+            .rate()
     };
     let ideal = run(SyncPolicy::Passive, 0.0, 1);
     let passive = run(SyncPolicy::Passive, 1000.0, 1);

@@ -1,0 +1,127 @@
+//! Acceptance tests for the unified `EvalPipeline` / `DecoderKind`
+//! layer: every decoder family must beat guessing through the pipeline,
+//! and pipeline results must be bit-identical to the pre-refactor
+//! hand-rolled chain for a fixed seed.
+
+use ftqc::decoder::{evaluate_ler, DecoderKind, DecodingGraph, LutDecoder, MwpmDecoder, UfDecoder};
+use ftqc::experiments::EvalPipeline;
+use ftqc::noise::{CircuitNoiseModel, HardwareConfig};
+use ftqc::sim::DetectorErrorModel;
+use ftqc::surface::MemoryConfig;
+
+fn d3_memory() -> MemoryConfig {
+    MemoryConfig::new(3, 4, &HardwareConfig::ibm())
+}
+
+#[test]
+fn all_four_kinds_decode_d3_memory_below_guessing() {
+    // A memory circuit stores one observable; guessing scores 50%.
+    // Every decoder family must do far better through the pipeline.
+    let pipeline = EvalPipeline::memory(d3_memory())
+        .physical_error(1e-3)
+        .shots(4_000)
+        .batch_shots(512)
+        .seed(3)
+        .threads(2)
+        .build();
+    for kind in [
+        DecoderKind::UnionFind,
+        DecoderKind::Mwpm,
+        DecoderKind::lut(),
+        DecoderKind::hierarchical(),
+    ] {
+        let ler = pipeline.run_with(kind);
+        assert_eq!(ler.len(), 1);
+        assert!(
+            ler[0].rate() < 0.1,
+            "{kind} decodes far below the 50% guess rate, got {}",
+            ler[0]
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_bit_identical_to_the_direct_chain() {
+    // The pre-refactor chain, spelled out step by step.
+    let cfg = d3_memory();
+    let circuit = CircuitNoiseModel::standard(1e-3, &cfg.hardware).apply(&cfg.build());
+    let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+    let graph = DecodingGraph::from_dem(&dem);
+    let (shots, batch, seed, threads) = (3_000u64, 512usize, 41u64, 2usize);
+
+    let direct: Vec<(&str, Vec<_>)> = vec![
+        (
+            "union-find",
+            evaluate_ler(
+                &circuit,
+                &UfDecoder::new(graph.clone()),
+                shots,
+                batch,
+                seed,
+                threads,
+            ),
+        ),
+        (
+            "mwpm",
+            evaluate_ler(
+                &circuit,
+                &MwpmDecoder::new(graph.clone()),
+                shots,
+                batch,
+                seed,
+                threads,
+            ),
+        ),
+        (
+            "lut",
+            evaluate_ler(
+                &circuit,
+                &LutDecoder::train(&circuit, 20_000, seed, 3 * 1024),
+                shots,
+                batch,
+                seed,
+                threads,
+            ),
+        ),
+    ];
+
+    let pipeline = EvalPipeline::memory(cfg)
+        .shots(shots)
+        .batch_shots(batch)
+        .seed(seed)
+        .threads(threads)
+        .build();
+    for (name, direct_ler) in direct {
+        let kind = match name {
+            "union-find" => DecoderKind::UnionFind,
+            "mwpm" => DecoderKind::Mwpm,
+            _ => DecoderKind::lut(),
+        };
+        let pipeline_ler = pipeline.run_with(kind);
+        assert_eq!(direct_ler.len(), pipeline_ler.len());
+        for (obs, (d, p)) in direct_ler.iter().zip(&pipeline_ler).enumerate() {
+            assert_eq!(
+                d.successes(),
+                p.successes(),
+                "{name}, observable {obs}: direct {d} vs pipeline {p}"
+            );
+            assert_eq!(d.trials(), p.trials());
+        }
+    }
+}
+
+#[test]
+fn pipeline_results_are_thread_count_invariant() {
+    let run = |threads: usize| {
+        EvalPipeline::memory(d3_memory())
+            .shots(2_000)
+            .batch_shots(256)
+            .seed(42)
+            .threads(threads)
+            .build()
+            .run()
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one[0].successes(), four[0].successes());
+}
