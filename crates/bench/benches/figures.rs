@@ -15,6 +15,7 @@ fn bench_config() -> Config {
         focus_distance: 3,
         threads: 2,
         seed: 99,
+        ..Config::quick()
     }
 }
 
@@ -58,5 +59,34 @@ fn bench_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_figures);
+/// The adaptive engine against the fixed path on the same pipeline:
+/// how much a failure-target run saves over sampling the full ceiling.
+fn bench_adaptive(c: &mut Criterion) {
+    use ftqc_experiments::EvalPipeline;
+    use ftqc_noise::HardwareConfig;
+    use ftqc_sim::StopRule;
+    use ftqc_surface::MemoryConfig;
+
+    let hw = HardwareConfig::ibm();
+    let pipeline = EvalPipeline::memory(MemoryConfig::new(3, 4, &hw))
+        .physical_error(3e-3)
+        .shots(20_000)
+        .seed(17)
+        .build();
+    pipeline.decoder(); // build outside the timed region
+    let rule = StopRule::max_shots(20_000).min_failures(50);
+    let mut g = c.benchmark_group("adaptive");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.bench_function("fixed_20k_shots", |b| {
+        b.iter(|| std::hint::black_box(pipeline.run()))
+    });
+    g.bench_function("adaptive_min_failures_50", |b| {
+        b.iter(|| std::hint::black_box(pipeline.run_adaptive(&rule)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_adaptive);
 criterion_main!(benches);

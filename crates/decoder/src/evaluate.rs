@@ -1,7 +1,7 @@
 //! End-to-end logical-error-rate evaluation.
 
 use ftqc_circuit::Circuit;
-use ftqc_sim::{parallel_batches, BinomialEstimate};
+use ftqc_sim::{batch_plan, parallel_batches_indexed, BatchSpec, BinomialEstimate};
 
 /// A syndrome decoder: maps the set of flagged detectors of one shot to
 /// a predicted logical-observable flip mask.
@@ -40,8 +40,45 @@ pub fn evaluate_ler(
     seed: u64,
     threads: usize,
 ) -> Vec<BinomialEstimate> {
+    let per_batch = count_batch_errors(
+        circuit,
+        decoder,
+        &batch_plan(shots, batch_shots),
+        seed,
+        threads,
+    );
+    let mut totals = vec![0u64; circuit.num_observables() as usize];
+    for batch in per_batch {
+        for (t, e) in totals.iter_mut().zip(batch) {
+            *t += e;
+        }
+    }
+    totals
+        .into_iter()
+        .map(|e| BinomialEstimate::new(e, shots))
+        .collect()
+}
+
+/// Samples and decodes an explicit batch plan, returning the
+/// per-observable logical-error counts of every batch in plan order —
+/// the streaming building block of the adaptive evaluation engine.
+///
+/// Each batch's shot stream is derived from its global index (see
+/// [`parallel_batches_indexed`]), so counts are bit-identical whether
+/// a plan runs in one call or in chunks, at any thread count.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or any batch in the plan is empty.
+pub fn count_batch_errors(
+    circuit: &Circuit,
+    decoder: &impl Decoder,
+    batches: &[BatchSpec],
+    seed: u64,
+    threads: usize,
+) -> Vec<Vec<u64>> {
     let num_obs = circuit.num_observables() as usize;
-    let per_batch = parallel_batches(circuit, shots, batch_shots, seed, threads, |batch| {
+    parallel_batches_indexed(circuit, batches, seed, threads, |batch| {
         let mut errors = vec![0u64; num_obs];
         for s in 0..batch.shots {
             let flagged = batch.flagged_detectors(s);
@@ -55,17 +92,7 @@ pub fn evaluate_ler(
             }
         }
         errors
-    });
-    let mut totals = vec![0u64; num_obs];
-    for batch in per_batch {
-        for (t, e) in totals.iter_mut().zip(batch) {
-            *t += e;
-        }
-    }
-    totals
-        .into_iter()
-        .map(|e| BinomialEstimate::new(e, shots))
-        .collect()
+    })
 }
 
 #[cfg(test)]

@@ -23,7 +23,9 @@
 //!   kind is a complete recipe (`kind.build(&circuit, graph, seed)`),
 //!   so callers never branch on decoder families themselves.
 //! * [`evaluate_ler`] — end-to-end logical-error-rate evaluation of a
-//!   noisy circuit under any [`Decoder`].
+//!   noisy circuit under any [`Decoder`]; [`count_batch_errors`] is the
+//!   streaming per-batch variant the adaptive evaluation engine merges
+//!   incrementally.
 //!
 //! # Example
 //!
@@ -50,7 +52,7 @@ mod lut;
 mod mwpm;
 mod union_find;
 
-pub use evaluate::{evaluate_ler, Decoder};
+pub use evaluate::{count_batch_errors, evaluate_ler, Decoder};
 pub use graph::{DecodingGraph, GraphEdge};
 pub use hierarchical::{HierarchicalDecoder, LatencyModel, TimedDecode};
 pub use kind::{AnyDecoder, DecoderKind};

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! repro <experiment>... [--full] [--shots N] [--threads N] [--out DIR]
+//!                       [--min-failures N] [--rse X] [--max-shots N]
+//!                       [--resume FILE]
 //! repro all [--full]
 //! ```
 //!
@@ -9,15 +11,36 @@
 //! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 table1 table2
 //! (fig19 includes table4; fig21 includes table5). Markdown goes to
 //! stdout; CSVs to `--out` (default `results/`).
+//!
+//! Any of `--min-failures` / `--rse` / `--max-shots` switches the LER
+//! experiments into **adaptive mode**: sampling streams in
+//! deterministic chunks and each configuration stops as soon as every
+//! observable has accumulated `--min-failures N` failures or reached a
+//! relative standard error of `--rse X`, bounded by the hard ceiling
+//! `--max-shots N` (default 100x the preset shots). `--resume FILE`
+//! checkpoints every partial estimate to a JSON file after each chunk
+//! and resumes from it on restart, so long `--full` runs survive
+//! interruption. Results are bit-identical for a fixed seed regardless
+//! of `--threads`.
 
 use ftqc_experiments as exp;
-use ftqc_experiments::{Config, Table};
+use ftqc_experiments::{CheckpointStore, Config, Table};
+use ftqc_sim::StopRule;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 const ALL: &[&str] = &[
     "fig1c", "fig1d", "fig3c", "fig4a", "fig4b", "fig6", "fig7", "fig10", "fig11", "fig14",
     "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "table1", "table2",
 ];
+
+/// Aliases accepted in addition to [`ALL`] (tables embedded in
+/// figures).
+const ALIASES: &[&str] = &["table4", "table5"];
+
+fn is_known(name: &str) -> bool {
+    ALL.contains(&name) || ALIASES.contains(&name)
+}
 
 fn run_one(name: &str, config: &Config) -> Option<Vec<Table>> {
     let tables = match name {
@@ -46,36 +69,138 @@ fn run_one(name: &str, config: &Config) -> Option<Vec<Table>> {
     Some(tables)
 }
 
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: repro <experiment>... [--full] [--shots N] [--threads N] [--out DIR] \
+         [--min-failures N] [--rse X] [--max-shots N] [--resume FILE]"
+    );
+    eprintln!("experiments: {} all", ALL.join(" "));
+    eprintln!("aliases: {}", ALIASES.join(" "));
+    std::process::exit(2);
+}
+
+/// The value following a flag; exits with usage on a trailing flag.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} requires a value");
+            usage_and_exit();
+        }
+    }
+}
+
+fn parse_or_exit<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} takes a number, got `{value}`");
+        usage_and_exit();
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = Config::quick();
     let mut out_dir = PathBuf::from("results");
     let mut experiments: Vec<String> = Vec::new();
+    let mut min_failures: Option<u64> = None;
+    let mut max_rse: Option<f64> = None;
+    let mut max_shots: Option<u64> = None;
+    let mut resume: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => config = Config::full(),
             "--shots" => {
-                i += 1;
-                config.shots = args[i].parse().expect("--shots takes a number");
+                config.shots = parse_or_exit(flag_value(&args, &mut i, "--shots"), "--shots")
             }
             "--threads" => {
-                i += 1;
-                config.threads = args[i].parse().expect("--threads takes a number");
+                config.threads = parse_or_exit(flag_value(&args, &mut i, "--threads"), "--threads")
             }
-            "--out" => {
-                i += 1;
-                out_dir = PathBuf::from(&args[i]);
+            "--out" => out_dir = PathBuf::from(flag_value(&args, &mut i, "--out")),
+            "--min-failures" => {
+                min_failures = Some(parse_or_exit(
+                    flag_value(&args, &mut i, "--min-failures"),
+                    "--min-failures",
+                ))
             }
+            "--rse" => max_rse = Some(parse_or_exit(flag_value(&args, &mut i, "--rse"), "--rse")),
+            "--max-shots" => {
+                max_shots = Some(parse_or_exit(
+                    flag_value(&args, &mut i, "--max-shots"),
+                    "--max-shots",
+                ))
+            }
+            "--resume" => resume = Some(PathBuf::from(flag_value(&args, &mut i, "--resume"))),
             "all" => experiments.extend(ALL.iter().map(|s| s.to_string())),
             name => experiments.push(name.to_string()),
         }
         i += 1;
     }
     if experiments.is_empty() {
-        eprintln!("usage: repro <experiment>... [--full] [--shots N] [--threads N] [--out DIR]");
-        eprintln!("experiments: {} all", ALL.join(" "));
+        usage_and_exit();
+    }
+    // Range-check flag values up front, so out-of-range inputs exit
+    // with usage instead of tripping library asserts mid-run.
+    for (flag, bad) in [
+        ("--shots", config.shots == 0),
+        ("--threads", config.threads == 0),
+        ("--min-failures", min_failures == Some(0)),
+        ("--max-shots", max_shots == Some(0)),
+        ("--rse", max_rse.is_some_and(|r| !r.is_finite() || r <= 0.0)),
+    ] {
+        if bad {
+            eprintln!("{flag} must be a positive number");
+            usage_and_exit();
+        }
+    }
+    // Reject unknown experiment names up front — never run half a
+    // request and then fail.
+    let unknown: Vec<&str> = experiments
+        .iter()
+        .map(String::as_str)
+        .filter(|n| !is_known(n))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment(s): {}", unknown.join(" "));
+        eprintln!("valid experiments: {} all", ALL.join(" "));
+        eprintln!("aliases: {}", ALIASES.join(" "));
         std::process::exit(2);
+    }
+    if min_failures.is_some() || max_rse.is_some() || max_shots.is_some() {
+        let ceiling = max_shots.unwrap_or_else(|| config.shots.saturating_mul(100).max(1));
+        let mut rule = StopRule::max_shots(ceiling);
+        if let Some(f) = min_failures {
+            rule = rule.min_failures(f);
+        }
+        if let Some(r) = max_rse {
+            rule = rule.max_rse(r);
+        }
+        config.stop = Some(rule);
+        eprintln!("adaptive mode: min_failures={min_failures:?} rse={max_rse:?} ceiling={ceiling}");
+    }
+    if let Some(path) = resume {
+        if config.stop.is_none() {
+            eprintln!(
+                "note: --resume only affects adaptive runs (add --min-failures/--rse/--max-shots)"
+            );
+        }
+        match CheckpointStore::open(&path) {
+            Ok(store) => {
+                if !store.is_empty() {
+                    eprintln!(
+                        "resuming {} checkpointed configuration(s) from {}",
+                        store.len(),
+                        path.display()
+                    );
+                }
+                config.checkpoint = Some(Arc::new(store));
+            }
+            Err(e) => {
+                eprintln!("could not open checkpoint {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
     }
     for name in &experiments {
         let started = std::time::Instant::now();
@@ -90,6 +215,8 @@ fn main() {
                 eprintln!("[{name}] done in {:.1}s", started.elapsed().as_secs_f64());
             }
             None => {
+                // Unreachable after upfront validation; kept as a
+                // defensive exit path.
                 eprintln!("unknown experiment `{name}`; known: {}", ALL.join(" "));
                 std::process::exit(2);
             }

@@ -1,0 +1,321 @@
+//! JSON checkpoint/resume of partial adaptive estimates.
+//!
+//! Long `--full` adaptive runs sample millions of shots per
+//! configuration; a [`CheckpointStore`] persists every configuration's
+//! [`RunningEstimate`] after each chunk so an interrupted run resumes
+//! where it left off (`repro --resume FILE`). Configurations are keyed
+//! by the pipeline fingerprint
+//! ([`EvalPipeline::fingerprint`](crate::EvalPipeline::fingerprint)),
+//! which covers the noisy circuit, decoder kind, seed and batch size —
+//! a stale checkpoint from a different configuration can never be
+//! merged into the wrong estimate.
+//!
+//! The on-disk format is a flat JSON object (no external dependencies;
+//! the build environment is offline):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": {
+//!     "c0ffee0123456789": {"trials": 40960, "failures": [12, 3, 9]}
+//!   }
+//! }
+//! ```
+
+use ftqc_sim::RunningEstimate;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A file-backed map from configuration key to partial estimate.
+///
+/// Writes go through a temp-file + rename, so a crash mid-write leaves
+/// the previous checkpoint intact.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    path: PathBuf,
+    entries: Mutex<BTreeMap<String, (u64, Vec<u64>)>>,
+}
+
+impl CheckpointStore {
+    /// Opens (or initializes) the checkpoint at `path`. A missing file
+    /// is an empty store; a malformed file is an error rather than a
+    /// silent restart from zero.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, and `InvalidData` for unparsable contents.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<CheckpointStore> {
+        let path = path.into();
+        let entries = match std::fs::read_to_string(&path) {
+            Ok(text) => parse(&text).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            })?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(CheckpointStore {
+            path,
+            entries: Mutex::new(entries),
+        })
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of checkpointed configurations.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The partial estimate checkpointed under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<RunningEstimate> {
+        self.entries
+            .lock()
+            .unwrap()
+            .get(key)
+            .map(|(trials, failures)| RunningEstimate::from_parts(*trials, failures.clone()))
+    }
+
+    /// Records `state` under `key` and persists the whole store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (the in-memory entry is updated
+    /// either way).
+    pub fn put(&self, key: &str, state: &RunningEstimate) -> io::Result<()> {
+        let mut entries = self.entries.lock().unwrap();
+        entries.insert(key.to_string(), (state.trials(), state.failures().to_vec()));
+        let rendered = render(&entries);
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, rendered)?;
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+fn render(entries: &BTreeMap<String, (u64, Vec<u64>)>) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": {");
+    for (i, (key, (trials, failures))) in entries.iter().enumerate() {
+        let failures = failures
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            s,
+            "{sep}\n    \"{key}\": {{\"trials\": {trials}, \"failures\": [{failures}]}}"
+        );
+    }
+    s.push_str("\n  }\n}\n");
+    s
+}
+
+/// Minimal parser for the fixed checkpoint schema above. Keys must not
+/// contain `"` or `\` (fingerprint keys are hex, so this never bites).
+fn parse(text: &str) -> Result<BTreeMap<String, (u64, Vec<u64>)>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    p.expect_key("version")?;
+    if p.parse_u64()? != 1 {
+        return Err("unsupported checkpoint version".into());
+    }
+    p.expect(b',')?;
+    p.expect_key("entries")?;
+    p.expect(b'{')?;
+    let mut entries = BTreeMap::new();
+    if !p.eat(b'}') {
+        loop {
+            let key = p.parse_string()?;
+            p.expect(b':')?;
+            entries.insert(key, p.parse_entry()?);
+            if !p.eat(b',') {
+                break;
+            }
+        }
+        p.expect(b'}')?;
+    }
+    p.expect(b'}')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(entries)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.eat(byte) {
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn expect_key(&mut self, key: &str) -> Result<(), String> {
+        let found = self.parse_string()?;
+        if found != key {
+            return Err(format!("expected key `{key}`, found `{found}`"));
+        }
+        self.expect(b':')
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err(format!("escape sequences unsupported at byte {}", self.pos));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn parse_entry(&mut self) -> Result<(u64, Vec<u64>), String> {
+        self.expect(b'{')?;
+        let mut trials = None;
+        let mut failures = None;
+        loop {
+            let field = self.parse_string()?;
+            self.expect(b':')?;
+            match field.as_str() {
+                "trials" => trials = Some(self.parse_u64()?),
+                "failures" => {
+                    self.expect(b'[')?;
+                    let mut values = Vec::new();
+                    if !self.eat(b']') {
+                        loop {
+                            values.push(self.parse_u64()?);
+                            if !self.eat(b',') {
+                                break;
+                            }
+                        }
+                        self.expect(b']')?;
+                    }
+                    failures = Some(values);
+                }
+                other => return Err(format!("unknown entry field `{other}`")),
+            }
+            if !self.eat(b',') {
+                break;
+            }
+        }
+        self.expect(b'}')?;
+        match (trials, failures) {
+            (Some(t), Some(f)) => Ok((t, f)),
+            _ => Err("entry missing `trials` or `failures`".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ftqc-ckpt-{}-{tag}.json", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let store = CheckpointStore::open(&path).unwrap();
+        assert!(store.is_empty());
+        let mut state = RunningEstimate::new(3);
+        state.record(40_960, &[12, 3, 9]);
+        store.put("c0ffee0123456789", &state).unwrap();
+        let mut later = RunningEstimate::new(1);
+        later.record(100, &[1]);
+        store.put("aa00", &later).unwrap();
+
+        let reopened = CheckpointStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get("c0ffee0123456789"), Some(state));
+        assert_eq!(reopened.get("aa00"), Some(later));
+        assert_eq!(reopened.get("missing"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_file_is_an_error_not_a_restart() {
+        let path = temp_path("malformed");
+        std::fs::write(&path, "{\"version\": 2}").unwrap();
+        let err = CheckpointStore::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::write(&path, "not json").unwrap();
+        assert!(CheckpointStore::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parser_accepts_rendered_edge_cases() {
+        assert_eq!(parse(&render(&BTreeMap::new())).unwrap(), BTreeMap::new());
+        let mut one = BTreeMap::new();
+        one.insert("k".to_string(), (7, vec![]));
+        assert_eq!(parse(&render(&one)).unwrap(), one);
+    }
+}

@@ -1,7 +1,7 @@
 //! Decoder-centric experiments: Figs. 1(c), 7 and 22.
 
 use crate::pipeline::EvalPipeline;
-use crate::runner::LsSetup;
+use crate::runner::{run_eval, LsSetup};
 use crate::{Config, Table};
 use ftqc_decoder::{Decoder, DecoderKind, HierarchicalDecoder, LatencyModel};
 use ftqc_noise::HardwareConfig;
@@ -49,7 +49,7 @@ pub mod fig01c {
                     .seed(config.seed + idle as u64)
                     .threads(config.threads)
                     .build();
-                let ler = pipeline.run();
+                let ler = run_eval(&pipeline, config);
                 lers.push(ler[0].rate());
                 if !logical_one {
                     // Undecoded physical flip rate of the logical readout
@@ -265,6 +265,7 @@ mod tests {
             focus_distance: 3,
             threads: 2,
             seed: 13,
+            ..Config::quick()
         }
     }
 

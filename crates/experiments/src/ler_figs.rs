@@ -13,6 +13,13 @@ fn fmt_rate(r: f64) -> String {
     format!("{r:.3e}")
 }
 
+/// `rate [lo, hi]` with a 95% Wilson score interval — the stated
+/// confidence adaptive runs buy.
+fn fmt_ci(e: &ftqc_sim::BinomialEstimate) -> String {
+    let (lo, hi) = e.wilson_interval(1.96);
+    format!("{:.2e} [{lo:.2e}, {hi:.2e}]", e.rate())
+}
+
 fn fmt_red(r: f64) -> String {
     if r.is_nan() {
         "n/a".to_string()
@@ -50,6 +57,9 @@ pub mod fig14 {
                         "reduction P",
                         "reduction merged",
                         "reduction avg",
+                        "LER passive merged [95% CI]",
+                        "LER active merged [95% CI]",
+                        "shots (P/A)",
                     ],
                 );
                 for &d in &config.distances {
@@ -58,8 +68,8 @@ pub mod fig14 {
                         passive.basis = basis;
                         let mut active = LsSetup::homogeneous(d, &hw, SyncPolicy::Active, tau);
                         active.basis = basis;
-                        let p = ls_ler(&passive, config.shots, config.seed, config.threads);
-                        let a = ls_ler(&active, config.shots, config.seed + 1, config.threads);
+                        let p = ls_ler(&passive, config, config.seed);
+                        let a = ls_ler(&active, config, config.seed + 1);
                         let red_p = p[0].ratio(&a[0]);
                         let red_m = p[2].ratio(&a[2]);
                         t.push_row([
@@ -68,6 +78,9 @@ pub mod fig14 {
                             fmt_red(red_p),
                             fmt_red(red_m),
                             fmt_red(reduction(&p, &a)),
+                            fmt_ci(&p[2]),
+                            fmt_ci(&a[2]),
+                            format!("{}/{}", p[2].trials(), a[2].trials()),
                         ]);
                     }
                 }
@@ -90,8 +103,8 @@ pub mod fig1d {
         let d = config.focus_distance;
         let passive = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, 1000.0);
         let active = LsSetup::homogeneous(d, &hw, SyncPolicy::Active, 1000.0);
-        let p = ls_ler(&passive, config.shots, config.seed, config.threads);
-        let a = ls_ler(&active, config.shots, config.seed + 1, config.threads);
+        let p = ls_ler(&passive, config, config.seed);
+        let a = ls_ler(&active, config, config.seed + 1);
         let red = reduction(&p, &a);
         let mut t = Table::new(
             "fig01d_norm_t_count",
@@ -121,9 +134,9 @@ pub mod fig15 {
             let ideal = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, 0.0);
             let act = LsSetup::homogeneous(d, &hw, SyncPolicy::Active, 1000.0);
             let pas = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, 1000.0);
-            let li = ls_ler(&ideal, config.shots, config.seed, config.threads);
-            let la = ls_ler(&act, config.shots, config.seed + 1, config.threads);
-            let lp = ls_ler(&pas, config.shots, config.seed + 2, config.threads);
+            let li = ls_ler(&ideal, config, config.seed);
+            let la = ls_ler(&act, config, config.seed + 1);
+            let lp = ls_ler(&pas, config, config.seed + 2);
             for (obs, name) in [(2usize, "X_P X_P'"), (0usize, "X_P")] {
                 t.push_row([
                     d.to_string(),
@@ -149,7 +162,7 @@ pub mod fig16 {
         let d = config.focus_distance;
         let rates = |policy: SyncPolicy, tau: f64, seed: u64| {
             let setup = LsSetup::homogeneous(d, &hw, policy, tau);
-            let l = ls_ler(&setup, config.shots, seed, config.threads);
+            let l = ls_ler(&setup, config, seed);
             l[0].rate() + l[2].rate()
         };
         let e_ideal = rates(SyncPolicy::Passive, 0.0, config.seed);
@@ -196,8 +209,8 @@ pub mod fig17 {
                     pas.basis = basis;
                     let mut intra = LsSetup::homogeneous(d, &hw, SyncPolicy::ActiveIntra, tau);
                     intra.basis = basis;
-                    let p = ls_ler(&pas, config.shots, config.seed, config.threads);
-                    let i = ls_ler(&intra, config.shots, config.seed + 1, config.threads);
+                    let p = ls_ler(&pas, config, config.seed);
+                    let i = ls_ler(&intra, config, config.seed + 1);
                     t.push_row([
                         d.to_string(),
                         format!("{basis:?}"),
@@ -239,15 +252,15 @@ pub mod fig18 {
                 let mut act = LsSetup::homogeneous(d, &hw, SyncPolicy::Active, tau);
                 act.extra_rounds_both = r;
                 act.decoder = DecoderKind::UnionFind;
-                let p = ls_ler(&pas, config.shots, config.seed, config.threads);
-                let aa = ls_ler(&act, config.shots, config.seed + 1, config.threads);
+                let p = ls_ler(&pas, config, config.seed);
+                let aa = ls_ler(&act, config, config.seed + 1);
                 cells.push(fmt_red(reduction(&p, &aa)));
             }
             a.push_row(cells);
             let mut ideal = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, 0.0);
             ideal.extra_rounds_both = r;
             ideal.decoder = DecoderKind::UnionFind;
-            let l = ls_ler(&ideal, config.shots, config.seed + 2, config.threads);
+            let l = ls_ler(&ideal, config, config.seed + 2);
             b.push_row([r.to_string(), fmt_rate(l[2].rate())]);
         }
         vec![a, b]
@@ -290,8 +303,8 @@ pub mod fig19_table4 {
                 pol.t_p_ns = 1000.0;
                 pol.t_p_prime_ns = tpp;
                 pol.decoder = DecoderKind::UnionFind;
-                let p = ls_ler(&pas, config.shots, seed, config.threads);
-                let a = ls_ler(&pol, config.shots, seed + 1, config.threads);
+                let p = ls_ler(&pas, config, seed);
+                let a = ls_ler(&pol, config, seed + 1);
                 let r = reduction(&p, &a);
                 if r.is_finite() {
                     total += r;
@@ -332,8 +345,8 @@ pub mod fig19_table4 {
                     pol.t_p_ns = 1000.0;
                     pol.t_p_prime_ns = tpp;
                     pol.decoder = DecoderKind::UnionFind;
-                    let p = ls_ler(&pas, config.shots, config.seed + 20, config.threads);
-                    let a = ls_ler(&pol, config.shots, config.seed + 21, config.threads);
+                    let p = ls_ler(&pas, config, config.seed + 20);
+                    let a = ls_ler(&pol, config, config.seed + 21);
                     let r = reduction(&p, &a);
                     if r.is_finite() {
                         total += r;
@@ -390,8 +403,8 @@ pub mod fig21_table5 {
                     pol.t_p_ns = 2.0 * ms;
                     pol.t_p_prime_ns = tpp * ms;
                     pol.decoder = DecoderKind::UnionFind;
-                    let p = ls_ler(&pas, config.shots, config.seed, config.threads);
-                    let a = ls_ler(&pol, config.shots, config.seed + 1, config.threads);
+                    let p = ls_ler(&pas, config, config.seed);
+                    let a = ls_ler(&pol, config, config.seed + 1);
                     let r = reduction(&p, &a);
                     if r.is_finite() {
                         total += r;
@@ -452,8 +465,8 @@ pub mod table1 {
             for &d in &config.distances {
                 let pas = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, tau);
                 let act = LsSetup::homogeneous(d, &hw, SyncPolicy::Active, tau);
-                let p = ls_ler(&pas, config.shots, config.seed, config.threads);
-                let a = ls_ler(&act, config.shots, config.seed + 1, config.threads);
+                let p = ls_ler(&pas, config, config.seed);
+                let a = ls_ler(&act, config, config.seed + 1);
                 let pe = p[0].successes() + p[2].successes();
                 let ae = a[0].successes() + a[2].successes();
                 let pct = if pe > 0 {
@@ -498,7 +511,7 @@ pub mod table2 {
             setup.t_p_prime_ns = 1325.0;
             setup.decoder = DecoderKind::UnionFind; // the 52-round Extra-Rounds circuit is large
             let plan = setup.plan();
-            let l = ls_ler(&setup, config.shots, config.seed, config.threads);
+            let l = ls_ler(&setup, config, config.seed);
             t.push_row([
                 name.to_string(),
                 format!("{:.0}", plan.total_idle_ns()),
@@ -521,6 +534,7 @@ mod tests {
             focus_distance: 3,
             threads: 2,
             seed: 7,
+            ..Config::quick()
         }
     }
 
@@ -529,6 +543,23 @@ mod tests {
         let tables = fig14::run(&tiny());
         assert_eq!(tables.len(), 4);
         assert_eq!(tables[0].rows.len(), 2); // one distance, two taus
+    }
+
+    #[test]
+    fn fig14_adaptive_rows_report_intervals_and_shots() {
+        use ftqc_sim::StopRule;
+        let config = Config {
+            stop: Some(StopRule::max_shots(20_000).min_failures(10)),
+            ..tiny()
+        };
+        let t = &fig14::run(&config)[0];
+        for row in &t.rows {
+            let ci = &row[5];
+            assert!(ci.contains('[') && ci.contains(','), "no interval in {ci}");
+            let (p_shots, a_shots) = row[7].split_once('/').expect("P/A shot counts");
+            assert!(p_shots.parse::<u64>().unwrap() > 0);
+            assert!(a_shots.parse::<u64>().unwrap() > 0);
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! ```
 
 pub mod case_figs;
+pub mod checkpoint;
 pub mod decode_figs;
 pub mod ler_figs;
 pub mod pipeline;
@@ -28,8 +29,9 @@ pub mod runner;
 pub mod solver_figs;
 mod table;
 
-pub use pipeline::{EvalPipeline, EvalPipelineBuilder};
-pub use runner::{ls_ler, LsSetup};
+pub use checkpoint::CheckpointStore;
+pub use pipeline::{AdaptiveOutcome, EvalPipeline, EvalPipelineBuilder};
+pub use runner::{ls_ler, run_eval, LsSetup};
 pub use table::Table;
 
 // Re-export experiment modules under their figure names for the binary.
@@ -43,7 +45,8 @@ pub use solver_figs::{fig10, fig11};
 /// Global experiment configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
-    /// Monte-Carlo shots per configuration.
+    /// Monte-Carlo shots per configuration (fixed mode), and the base
+    /// the default adaptive ceiling scales from.
     pub shots: u64,
     /// Code distances used by sweep experiments.
     pub distances: Vec<u32>,
@@ -53,6 +56,13 @@ pub struct Config {
     pub threads: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Adaptive stopping rule — `Some` switches every LER evaluation
+    /// from fixed `shots` to run-until-confident streaming
+    /// ([`EvalPipeline::run_adaptive`]).
+    pub stop: Option<ftqc_sim::StopRule>,
+    /// Checkpoint store adaptive runs persist partial estimates to
+    /// after every chunk (`repro --resume FILE`).
+    pub checkpoint: Option<std::sync::Arc<CheckpointStore>>,
 }
 
 impl Config {
@@ -64,6 +74,8 @@ impl Config {
             focus_distance: 5,
             threads: 2,
             seed: 2025,
+            stop: None,
+            checkpoint: None,
         }
     }
 
@@ -76,6 +88,8 @@ impl Config {
             focus_distance: 11,
             threads: 2,
             seed: 2025,
+            stop: None,
+            checkpoint: None,
         }
     }
 }

@@ -8,10 +8,13 @@
 //! end to end: a builder configures the circuit source, noise scale,
 //! [`DecoderKind`], and the shot/batch/seed/thread parameters, and
 //! [`EvalPipeline::run`] produces per-observable
-//! [`BinomialEstimate`]s. The intermediate artifacts (noisy circuit,
-//! DEM, decoding graph, decoder) stay accessible for studies that need
-//! more than the final rates (syndrome statistics, latency probes,
-//! raw sampling).
+//! [`BinomialEstimate`]s. [`EvalPipeline::run_adaptive`] is the
+//! streaming variant: it samples in deterministic chunks and stops at
+//! the first batch where a [`StopRule`] is satisfied, so runs spend
+//! exactly the shots their confidence targets require. The
+//! intermediate artifacts (noisy circuit, DEM, decoding graph,
+//! decoder) stay accessible for studies that need more than the final
+//! rates (syndrome statistics, latency probes, raw sampling).
 //!
 //! Results are bit-identical to the hand-rolled chain for the same
 //! parameters: the pipeline performs exactly the same calls in the
@@ -36,9 +39,12 @@
 //! ```
 
 use ftqc_circuit::{Circuit, Schedule};
-use ftqc_decoder::{evaluate_ler, AnyDecoder, DecoderKind, DecodingGraph};
+use ftqc_decoder::{count_batch_errors, evaluate_ler, AnyDecoder, DecoderKind, DecodingGraph};
 use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
-use ftqc_sim::{BinomialEstimate, DemStats, DetectorErrorModel};
+use ftqc_sim::{
+    BatchSpec, BinomialEstimate, DemStats, DetectorErrorModel, RunningEstimate, StopReason,
+    StopRule,
+};
 use ftqc_surface::{LatticeSurgeryConfig, MemoryConfig, RepetitionConfig};
 
 /// Where the pipeline's circuit comes from.
@@ -68,6 +74,7 @@ pub struct EvalPipelineBuilder {
     decoder_seed: Option<u64>,
     shots: u64,
     batch_shots: usize,
+    chunk_shots: Option<u64>,
     seed: u64,
     threads: usize,
 }
@@ -83,6 +90,7 @@ impl EvalPipelineBuilder {
             decoder_seed: None,
             shots: 20_000,
             batch_shots: 1024,
+            chunk_shots: None,
             seed: 0,
             threads: 2,
         }
@@ -133,6 +141,17 @@ impl EvalPipelineBuilder {
         self
     }
 
+    /// Shots sampled speculatively per adaptive chunk before the stop
+    /// rule is re-checked (default 16 batches' worth). Purely a
+    /// scheduling knob: adaptive results are bit-identical for any
+    /// chunk size, because stopping is decided batch-by-batch in
+    /// global batch order.
+    pub fn chunk_shots(mut self, chunk_shots: u64) -> Self {
+        assert!(chunk_shots > 0, "chunk must cover at least one shot");
+        self.chunk_shots = Some(chunk_shots);
+        self
+    }
+
     /// Base RNG seed for the evaluation (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -172,6 +191,7 @@ impl EvalPipelineBuilder {
             decoder_seed: self.decoder_seed,
             shots: self.shots,
             batch_shots: self.batch_shots,
+            chunk_shots: self.chunk_shots.unwrap_or(16 * self.batch_shots as u64),
             seed: self.seed,
             threads: self.threads,
         }
@@ -211,6 +231,7 @@ pub struct EvalPipeline {
     decoder_seed: Option<u64>,
     shots: u64,
     batch_shots: usize,
+    chunk_shots: u64,
     seed: u64,
     threads: usize,
 }
@@ -245,7 +266,7 @@ impl EvalPipeline {
 
     /// Samples, decodes and returns one logical-error estimate per
     /// observable, exactly as
-    /// [`evaluate_ler`](ftqc_decoder::evaluate_ler) does.
+    /// [`evaluate_ler`] does.
     pub fn run(&self) -> Vec<BinomialEstimate> {
         evaluate_ler(
             &self.circuit,
@@ -255,6 +276,100 @@ impl EvalPipeline {
             self.seed,
             self.threads,
         )
+    }
+
+    /// Streaming, run-until-confident evaluation: samples in
+    /// deterministic chunks, merges per-batch counts incrementally in
+    /// global batch order, and stops at the first batch where `rule`
+    /// is satisfied (failure target, relative-standard-error target,
+    /// or the hard shot ceiling).
+    ///
+    /// The builder's `shots` setting is ignored — the stop rule owns
+    /// run length. Results are bit-identical for a fixed
+    /// `(seed, batch_shots)` regardless of thread count *and* chunk
+    /// size; with a ceiling-only rule they are bit-identical to
+    /// [`run`](EvalPipeline::run) at `shots = ceiling`.
+    pub fn run_adaptive(&self, rule: &StopRule) -> AdaptiveOutcome {
+        self.run_adaptive_with(rule, None, |_| {})
+    }
+
+    /// [`run_adaptive`](EvalPipeline::run_adaptive), resuming from a
+    /// checkpointed partial estimate and reporting progress to
+    /// `on_progress` (the checkpoint-persistence hook). Progress is
+    /// only reported on batch boundaries — a ceiling-truncated partial
+    /// batch is never checkpointed, so a checkpoint always resumes
+    /// cleanly even under a later, larger ceiling (the partial tail is
+    /// simply re-sampled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resume` tracks a different observable count than the
+    /// circuit, or ends off a batch boundary while `rule` is not yet
+    /// satisfied (states from `on_progress` never do).
+    pub fn run_adaptive_with(
+        &self,
+        rule: &StopRule,
+        resume: Option<RunningEstimate>,
+        mut on_progress: impl FnMut(&RunningEstimate),
+    ) -> AdaptiveOutcome {
+        let num_obs = self.circuit.num_observables() as usize;
+        let mut state = resume.unwrap_or_else(|| RunningEstimate::new(num_obs));
+        assert_eq!(
+            state.num_observables(),
+            num_obs,
+            "resume state does not match the circuit's observable count"
+        );
+        assert!(
+            state.trials().is_multiple_of(self.batch_shots as u64)
+                || rule.evaluate(&state).is_some(),
+            "resume state must end on a batch boundary (trials {}, batch_shots {})",
+            state.trials(),
+            self.batch_shots
+        );
+        let chunk_batches = self.chunk_shots.div_ceil(self.batch_shots as u64).max(1);
+        let decoder = self.decoder();
+        loop {
+            if let Some(reason) = rule.evaluate(&state) {
+                return AdaptiveOutcome { state, reason };
+            }
+            let first = state.trials() / self.batch_shots as u64;
+            let plan = chunk_plan(first, chunk_batches, self.batch_shots, rule.shot_ceiling());
+            let per_batch =
+                count_batch_errors(&self.circuit, decoder, &plan, self.seed, self.threads);
+            for ((_, size), errors) in plan.iter().zip(&per_batch) {
+                state.record(*size as u64, errors);
+                if rule.evaluate(&state).is_some() {
+                    break; // chunk-size-invariant stopping point
+                }
+            }
+            if state.trials().is_multiple_of(self.batch_shots as u64) {
+                on_progress(&state);
+            }
+        }
+    }
+
+    /// A stable 64-bit key for this evaluation configuration (noisy
+    /// circuit, decoder kind, evaluation + decoder seeds, batch size)
+    /// — what checkpoint entries are filed under, so a resumed run can
+    /// never merge a partial estimate into a different configuration.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the circuit's canonical debug form plus the
+        // sampling parameters.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        fold(format!("{:?}", self.circuit).as_bytes());
+        fold(format!("{:?}", self.kind).as_bytes());
+        fold(&self.seed.to_le_bytes());
+        // Sampling-trained decoders (e.g. Lut) decode differently per
+        // training seed, which changes the measured counts.
+        fold(&self.decoder_seed.unwrap_or(self.seed).to_le_bytes());
+        fold(&(self.batch_shots as u64).to_le_bytes());
+        hash
     }
 
     /// Runs the evaluation under a *different* decoder kind over the
@@ -324,6 +439,44 @@ impl EvalPipeline {
     }
 }
 
+/// The next chunk of an adaptive run: up to `chunk_batches` full
+/// batches starting at global index `first`, truncated so the run
+/// never samples past `ceiling` total shots.
+fn chunk_plan(first: u64, chunk_batches: u64, batch_shots: usize, ceiling: u64) -> Vec<BatchSpec> {
+    let mut plan = Vec::new();
+    for b in first..first + chunk_batches {
+        let start = b * batch_shots as u64;
+        if start >= ceiling {
+            break;
+        }
+        let size = (ceiling - start).min(batch_shots as u64) as usize;
+        plan.push((b, size));
+    }
+    plan
+}
+
+/// Result of an adaptive evaluation: the merged totals plus why the
+/// run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveOutcome {
+    /// Merged per-observable totals at the stopping point.
+    pub state: RunningEstimate,
+    /// Which criterion fired.
+    pub reason: StopReason,
+}
+
+impl AdaptiveOutcome {
+    /// Per-observable estimates at the stopping point.
+    pub fn estimates(&self) -> Vec<BinomialEstimate> {
+        self.state.estimates()
+    }
+
+    /// Shots actually sampled before stopping.
+    pub fn shots(&self) -> u64 {
+        self.state.trials()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +520,35 @@ mod tests {
         assert_eq!(uf.len(), mwpm.len());
         assert_eq!(pipeline.decoder_kind(), DecoderKind::UnionFind);
         assert_eq!(pipeline.dem_stats().dropped_hyperedges, 0);
+    }
+
+    #[test]
+    fn ceiling_only_adaptive_matches_fixed_run() {
+        let pipeline = EvalPipeline::memory(d3_memory())
+            .physical_error(3e-3)
+            .shots(3_000)
+            .batch_shots(256)
+            .seed(11)
+            .build();
+        let fixed = pipeline.run();
+        let adaptive = pipeline.run_adaptive(&StopRule::max_shots(3_000));
+        assert_eq!(adaptive.reason, StopReason::ShotCeiling);
+        assert_eq!(adaptive.shots(), 3_000);
+        assert_eq!(adaptive.estimates(), fixed);
+    }
+
+    #[test]
+    fn fingerprint_separates_configurations() {
+        let base = EvalPipeline::memory(d3_memory()).seed(1).build();
+        let same = EvalPipeline::memory(d3_memory()).seed(1).build();
+        let other_seed = EvalPipeline::memory(d3_memory()).seed(2).build();
+        let other_decoder = EvalPipeline::memory(d3_memory())
+            .seed(1)
+            .decoder(DecoderKind::Mwpm)
+            .build();
+        assert_eq!(base.fingerprint(), same.fingerprint());
+        assert_ne!(base.fingerprint(), other_seed.fingerprint());
+        assert_ne!(base.fingerprint(), other_decoder.fingerprint());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Shared Lattice Surgery evaluation plumbing.
 
 use crate::pipeline::EvalPipeline;
+use crate::Config;
 use ftqc_decoder::DecoderKind;
 use ftqc_noise::HardwareConfig;
 use ftqc_sim::BinomialEstimate;
@@ -98,16 +99,41 @@ impl LsSetup {
 }
 
 /// Runs the Fig. 13 experiment for `setup`, returning per-observable
-/// logical-error estimates (`[P, P', merged]`).
-pub fn ls_ler(setup: &LsSetup, shots: u64, seed: u64, threads: usize) -> Vec<BinomialEstimate> {
+/// logical-error estimates (`[P, P', merged]`). Honours `config.stop`:
+/// fixed `config.shots` when `None`, run-until-confident streaming
+/// (with checkpoint/resume) when `Some`.
+pub fn ls_ler(setup: &LsSetup, config: &Config, seed: u64) -> Vec<BinomialEstimate> {
     let pipeline = EvalPipeline::lattice_surgery(setup.surgery_config())
         .decoder(setup.decoder)
-        .shots(shots)
+        .shots(config.shots)
         .seed(seed)
-        .threads(threads)
+        .threads(config.threads)
         .build();
     debug_assert_eq!(pipeline.dem_stats().dropped_hyperedges, 0);
-    pipeline.run()
+    run_eval(&pipeline, config)
+}
+
+/// Evaluates a prepared pipeline under `config`'s execution mode: a
+/// fixed [`EvalPipeline::run`] by default, or the adaptive engine when
+/// `config.stop` is set — resuming from (and checkpointing to)
+/// `config.checkpoint` keyed by the pipeline fingerprint.
+pub fn run_eval(pipeline: &EvalPipeline, config: &Config) -> Vec<BinomialEstimate> {
+    let Some(rule) = &config.stop else {
+        return pipeline.run();
+    };
+    let key = format!("{:016x}", pipeline.fingerprint());
+    let resume = config.checkpoint.as_ref().and_then(|store| store.get(&key));
+    let outcome = pipeline.run_adaptive_with(rule, resume, |state| {
+        if let Some(store) = &config.checkpoint {
+            if let Err(e) = store.put(&key, state) {
+                eprintln!(
+                    "warning: could not checkpoint to {}: {e}",
+                    store.path().display()
+                );
+            }
+        }
+    });
+    outcome.estimates()
 }
 
 /// The paper's "Reduction" metric: `LER_passive / LER_policy`, averaged
@@ -150,8 +176,35 @@ mod tests {
     fn ls_ler_returns_three_observables() {
         let hw = HardwareConfig::ibm();
         let s = LsSetup::homogeneous(3, &hw, SyncPolicy::Active, 500.0);
-        let ler = ls_ler(&s, 2_000, 7, 2);
+        let config = Config {
+            shots: 2_000,
+            seed: 7,
+            ..Config::quick()
+        };
+        let ler = ls_ler(&s, &config, config.seed);
         assert_eq!(ler.len(), 3);
+    }
+
+    #[test]
+    fn adaptive_ls_ler_stops_early_and_matches_fixed_prefix() {
+        use ftqc_sim::StopRule;
+        let hw = HardwareConfig::ibm();
+        let s = LsSetup::homogeneous(3, &hw, SyncPolicy::Passive, 1000.0);
+        let fixed = Config {
+            shots: 30_000,
+            seed: 7,
+            ..Config::quick()
+        };
+        let adaptive = Config {
+            stop: Some(StopRule::max_shots(30_000).min_failures(40)),
+            ..fixed.clone()
+        };
+        let f = ls_ler(&s, &fixed, 7);
+        let a = ls_ler(&s, &adaptive, 7);
+        // The d=3 Passive configuration fails often enough that 40
+        // failures accumulate long before the ceiling.
+        assert!(a[0].trials() < f[0].trials(), "adaptive must stop early");
+        assert!(a.iter().all(|e| e.successes() >= 40));
     }
 
     #[test]

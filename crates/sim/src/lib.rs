@@ -12,8 +12,13 @@
 //! * [`verify_deterministic`] — a tableau-based check that every
 //!   detector and observable of a circuit is deterministic under zero
 //!   noise (the validity condition Stim enforces).
-//! * [`parallel_batches`] — a deterministic multithreaded shot runner.
+//! * [`parallel_batches`] / [`parallel_batches_indexed`] — a
+//!   deterministic multithreaded shot runner whose per-batch seeds are
+//!   derived from global batch indices, so a run can be streamed in
+//!   chunks without changing its results.
 //! * [`BinomialEstimate`] — logical-error-rate statistics.
+//! * [`RunningEstimate`] / [`StopRule`] — incremental estimate merging
+//!   and the stopping criteria behind run-until-confident evaluation.
 //!
 //! # Example
 //!
@@ -42,6 +47,6 @@ mod stats;
 
 pub use dem::{DemStats, DetectorErrorModel, Mechanism};
 pub use frame::{sample_batch, FrameSimulator, SampleBatch};
-pub use parallel::parallel_batches;
+pub use parallel::{batch_plan, parallel_batches, parallel_batches_indexed, BatchSpec};
 pub use reference::{run_reference, verify_deterministic, ReferenceRun};
-pub use stats::BinomialEstimate;
+pub use stats::{BinomialEstimate, RunningEstimate, StopReason, StopRule};

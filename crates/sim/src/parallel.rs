@@ -52,34 +52,85 @@ where
     R: Send,
     F: Fn(&SampleBatch) -> R + Sync,
 {
-    assert!(shots > 0 && batch_shots > 0 && threads > 0);
+    parallel_batches_indexed(circuit, &batch_plan(shots, batch_shots), seed, threads, f)
+}
+
+/// One sampling work unit: `(global batch index, shots in the batch)`.
+///
+/// The **global index** — not the position within a plan slice — is
+/// what derives the batch's seed, so any partition of the same plan
+/// into sub-slices samples bit-identical shots.
+pub type BatchSpec = (u64, usize);
+
+/// The batch plan a `shots`-shot run executes: consecutive
+/// `batch_shots`-sized batches starting at global index 0, with a
+/// final partial batch holding the remainder.
+///
+/// # Panics
+///
+/// Panics if `shots == 0` or `batch_shots == 0`.
+pub fn batch_plan(shots: u64, batch_shots: usize) -> Vec<BatchSpec> {
+    assert!(shots > 0 && batch_shots > 0);
     let num_batches = shots.div_ceil(batch_shots as u64);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(num_batches as usize);
-    results.resize_with(num_batches as usize, || None);
+    (0..num_batches)
+        .map(|b| {
+            let size = if b == num_batches - 1 {
+                (shots - b * batch_shots as u64) as usize
+            } else {
+                batch_shots
+            };
+            (b, size)
+        })
+        .collect()
+}
+
+/// Samples an explicit batch plan across `threads` OS threads,
+/// applying `f` to every batch and returning the per-batch results in
+/// plan order.
+///
+/// Each batch's seed is derived from its **global index** alone, so a
+/// plan produces the same results whether it is executed in one call
+/// or split into arbitrary consecutive chunks — the streaming seam the
+/// adaptive evaluation engine is built on.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or any batch in the plan is empty.
+pub fn parallel_batches_indexed<R, F>(
+    circuit: &Circuit,
+    batches: &[BatchSpec],
+    seed: u64,
+    threads: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&SampleBatch) -> R + Sync,
+{
+    assert!(threads > 0);
+    assert!(batches.iter().all(|&(_, size)| size > 0));
+    let mut results: Vec<Option<R>> = Vec::with_capacity(batches.len());
+    results.resize_with(batches.len(), || None);
     let next = std::sync::atomic::AtomicU64::new(0);
     // Lock-free result collection: every worker writes straight into
-    // its claimed batch's slot. The atomic counter hands each batch
-    // index to exactly one worker, so all writes are disjoint.
+    // its claimed batch's slot. The atomic counter hands each plan
+    // position to exactly one worker, so all writes are disjoint.
     let slots = SlotWriter(results.as_mut_ptr());
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(num_batches as usize) {
+        for _ in 0..threads.min(batches.len()) {
             scope.spawn(|| loop {
-                let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if b >= num_batches {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) as usize;
+                if i >= batches.len() {
                     break;
                 }
-                let this_shots = if b == num_batches - 1 {
-                    (shots - b * batch_shots as u64) as usize
-                } else {
-                    batch_shots
-                };
-                let batch = sample_batch(circuit, this_shots, mix_seed(seed, b));
+                let (index, size) = batches[i];
+                let batch = sample_batch(circuit, size, mix_seed(seed, index));
                 let r = f(&batch);
-                // SAFETY: `b < num_batches` (checked above) indexes
-                // within the pre-sized vec, each index is claimed by
+                // SAFETY: `i < batches.len()` (checked above) indexes
+                // within the pre-sized vec, each position is claimed by
                 // exactly one worker via `fetch_add`, and the scope
                 // joins every worker before `results` is read again.
-                unsafe { slots.write(b as usize, r) };
+                unsafe { slots.write(i, r) };
             });
         }
     });
@@ -160,6 +211,28 @@ mod tests {
         let b = parallel_batches(&c, 4_097, 64, 9, 1, |b| b.count_detector_flips(0));
         assert_eq!(a.len(), 65);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_plans_match_one_call() {
+        // The streaming property the adaptive engine relies on: a plan
+        // executed in chunks equals the same plan executed at once.
+        let c = noisy_circuit();
+        let plan = batch_plan(5_000, 512);
+        let full = parallel_batches_indexed(&c, &plan, 42, 4, |b| b.count_detector_flips(0));
+        let mut chunked = Vec::new();
+        for chunk in plan.chunks(3) {
+            chunked.extend(parallel_batches_indexed(&c, chunk, 42, 2, |b| {
+                b.count_detector_flips(0)
+            }));
+        }
+        assert_eq!(full, chunked);
+    }
+
+    #[test]
+    fn batch_plan_covers_shots_exactly() {
+        let plan = batch_plan(1_000, 300);
+        assert_eq!(plan, vec![(0, 300), (1, 300), (2, 300), (3, 100)]);
     }
 
     #[test]
