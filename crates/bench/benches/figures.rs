@@ -59,6 +59,39 @@ fn bench_figures(c: &mut Criterion) {
     g.finish();
 }
 
+/// The program-level runtime: schedule compilation once, then one
+/// target per policy family so `cargo bench runtime` shows what a
+/// policy costs the discrete-event executor at fixed event count.
+fn bench_runtime(c: &mut Criterion) {
+    use ftqc_estimator::{workloads, LogicalEstimate};
+    use ftqc_noise::HardwareConfig;
+    use ftqc_runtime::{execute, ProgramSchedule, RuntimeConfig};
+    use ftqc_sync::SyncPolicy;
+
+    let workload = workloads::qft(80);
+    let estimate = LogicalEstimate::for_workload(&workload, 1e-3, 1e-2);
+    let schedule = ProgramSchedule::compile(&workload, &estimate, 500, 99);
+    let hw = HardwareConfig::ibm();
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.bench_function("compile_qft80_500_merges", |b| {
+        b.iter(|| std::hint::black_box(ProgramSchedule::compile(&workload, &estimate, 500, 99)))
+    });
+    for (name, policy) in [
+        ("execute_passive", SyncPolicy::Passive),
+        ("execute_active", SyncPolicy::Active),
+        ("execute_hybrid", SyncPolicy::hybrid(400.0)),
+    ] {
+        let cfg = RuntimeConfig::new(&hw, policy, 99);
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(execute(&schedule, &cfg)))
+        });
+    }
+    g.finish();
+}
+
 /// The adaptive engine against the fixed path on the same pipeline:
 /// how much a failure-target run saves over sampling the full ceiling.
 fn bench_adaptive(c: &mut Criterion) {
@@ -88,5 +121,5 @@ fn bench_adaptive(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_adaptive);
+criterion_group!(benches, bench_figures, bench_adaptive, bench_runtime);
 criterion_main!(benches);

@@ -90,6 +90,21 @@ impl CultivationModel {
         CultivationModel::new(2.25 * cycle_ns, (-700.0 * p).exp())
     }
 
+    /// Samples one cultivation completion time: retries until an
+    /// attempt succeeds (capped at 10 000 attempts for pathological
+    /// parameters) and returns the total elapsed time. Reducing it
+    /// modulo a compute patch's cycle time gives the slack of that run.
+    pub fn sample_completion_ns(&self, rng: &mut SmallRng) -> f64 {
+        let mut attempts = 1u32;
+        while !rng.gen_bool(self.success_probability) {
+            attempts += 1;
+            if attempts > 10_000 {
+                break; // pathological parameters; cap the walk
+            }
+        }
+        attempts as f64 * self.attempt_duration_ns
+    }
+
     /// Samples the slack distribution against a compute patch with
     /// cycle time `compute_cycle_ns`, over `shots` cultivation runs.
     ///
@@ -100,16 +115,7 @@ impl CultivationModel {
         assert!(shots > 0, "need at least one shot");
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut slacks: Vec<f64> = (0..shots)
-            .map(|_| {
-                let mut attempts = 1u32;
-                while !rng.gen_bool(self.success_probability) {
-                    attempts += 1;
-                    if attempts > 10_000 {
-                        break; // pathological parameters; cap the walk
-                    }
-                }
-                (attempts as f64 * self.attempt_duration_ns) % compute_cycle_ns
-            })
+            .map(|_| self.sample_completion_ns(&mut rng) % compute_cycle_ns)
             .collect();
         slacks.sort_by(|a, b| a.partial_cmp(b).expect("finite slacks"));
         let n = slacks.len();

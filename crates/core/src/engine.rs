@@ -173,6 +173,11 @@ pub struct PatchStatus {
 pub struct Controller {
     now: u64,
     patches: Vec<ControlledPatch>,
+    /// Deregistered slots available for reuse, so long-running programs
+    /// that merge patches away and re-register them (one event per
+    /// Lattice Surgery operation) keep the table bounded by the number
+    /// of *live* patches instead of growing per merge.
+    free: Vec<u32>,
 }
 
 #[derive(Debug, Clone)]
@@ -190,6 +195,8 @@ impl Controller {
     }
 
     /// Registers a patch whose current cycle started `phase_ticks` ago.
+    /// Reuses the slot (and [`PatchId`]) of a previously deregistered
+    /// patch when one is available.
     ///
     /// # Panics
     ///
@@ -197,13 +204,56 @@ impl Controller {
     pub fn add_patch(&mut self, cycle_ticks: u32, phase_ticks: u32) -> PatchId {
         assert!(cycle_ticks > 0, "cycle duration must be positive");
         assert!(phase_ticks < cycle_ticks, "phase must be within the cycle");
-        self.patches.push(ControlledPatch {
+        let patch = ControlledPatch {
             cycle_ticks,
             cycle_end_tick: self.now + (cycle_ticks - phase_ticks) as u64,
             rounds_completed: 0,
             valid: true,
-        });
+        };
+        if let Some(slot) = self.free.pop() {
+            self.patches[slot as usize] = patch;
+            return PatchId(slot);
+        }
+        self.patches.push(patch);
         PatchId(self.patches.len() as u32 - 1)
+    }
+
+    /// Removes a patch from execution (merged or measured away). Its
+    /// slot — and id — becomes reusable by the next
+    /// [`add_patch`](Controller::add_patch). Stale ids are ignored.
+    pub fn deregister(&mut self, id: PatchId) {
+        if let Some(p) = self.patches.get_mut(id.0 as usize) {
+            if p.valid {
+                p.valid = false;
+                self.free.push(id.0);
+            }
+        }
+    }
+
+    /// Number of patches currently executing rounds.
+    pub fn active_patches(&self) -> usize {
+        self.patches.iter().filter(|p| p.valid).count()
+    }
+
+    /// Changes a patch's cycle duration from its *next* round on — the
+    /// hook for per-round cycle-time jitter and slow calibration drift.
+    /// If the current round would now end later than one new cycle from
+    /// the present, it is shortened to `now + cycle_ticks` (the round in
+    /// flight cannot outlast the re-calibrated duration). Stale ids are
+    /// ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_ticks == 0`.
+    pub fn set_cycle_ticks(&mut self, id: PatchId, cycle_ticks: u32) {
+        assert!(cycle_ticks > 0, "cycle duration must be positive");
+        let now = self.now;
+        if let Some(p) = self.patches.get_mut(id.0 as usize) {
+            if p.valid {
+                p.cycle_ticks = cycle_ticks;
+                p.cycle_end_tick = p.cycle_end_tick.min(now + cycle_ticks as u64);
+            }
+        }
     }
 
     /// Current controller tick.
@@ -222,17 +272,17 @@ impl Controller {
     }
 
     /// Advances time to `tick`, completing syndrome rounds back-to-back
-    /// for every valid patch.
+    /// for every valid patch. Closed-form per patch, so jumping forward
+    /// by billions of ticks costs the same as jumping by one cycle.
     pub fn run_until(&mut self, tick: u64) {
         assert!(tick >= self.now, "time cannot run backwards");
         for p in &mut self.patches {
-            if !p.valid {
+            if !p.valid || p.cycle_end_tick > tick {
                 continue;
             }
-            while p.cycle_end_tick <= tick {
-                p.cycle_end_tick += p.cycle_ticks as u64;
-                p.rounds_completed += 1;
-            }
+            let rounds = (tick - p.cycle_end_tick) / p.cycle_ticks as u64 + 1;
+            p.cycle_end_tick += rounds * p.cycle_ticks as u64;
+            p.rounds_completed += rounds;
         }
         self.now = tick;
     }
@@ -258,6 +308,37 @@ impl Controller {
         policy: SyncPolicy,
         rounds: u32,
     ) -> Result<u64, SyncError> {
+        self.synchronize_report(ids, policy, rounds)
+            .map(|r| r.merge_tick)
+    }
+
+    /// [`synchronize`](Controller::synchronize) with full accounting:
+    /// the slack the request had to absorb, the idle time actually
+    /// realized on the tick grid, the extra rounds inserted, and the
+    /// per-patch plans (whose `policy` field records any per-pair
+    /// fallback to Active). This is what a program-level runtime uses
+    /// to attribute synchronization overhead.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`synchronize`](Controller::synchronize).
+    pub fn synchronize_report(
+        &mut self,
+        ids: &[PatchId],
+        policy: SyncPolicy,
+        rounds: u32,
+    ) -> Result<ControllerSyncReport, SyncError> {
+        // A previous synchronize of *other* patches moves `now` without
+        // advancing unlisted patches; credit their overdue back-to-back
+        // rounds before reading phases (otherwise `cycle_end - now`
+        // underflows for a patch left behind the clock).
+        for p in &mut self.patches {
+            if p.valid && p.cycle_end_tick < self.now {
+                let rounds = (self.now - p.cycle_end_tick - 1) / p.cycle_ticks as u64 + 1;
+                p.cycle_end_tick += rounds * p.cycle_ticks as u64;
+                p.rounds_completed += rounds;
+            }
+        }
         let mut requested = vec![false; self.patches.len()];
         let mut clocks = Vec::with_capacity(ids.len());
         for id in ids {
@@ -270,9 +351,22 @@ impl Controller {
                 return Err(SyncError::InvalidParameter("duplicate patch id"));
             }
             let remaining = p.cycle_end_tick - self.now;
-            let phase = p.cycle_ticks as u64 - remaining;
+            // `remaining == 0` (a cycle boundary exactly at `now`, e.g.
+            // two back-to-back synchronizations) means a fresh cycle is
+            // just starting: phase 0, not phase == cycle_ticks.
+            let phase = (p.cycle_ticks as u64 - remaining) % p.cycle_ticks as u64;
             clocks.push(LogicalClock::new(p.cycle_ticks as f64, phase as f64));
         }
+        let slack_ns = {
+            let worst = clocks
+                .iter()
+                .map(LogicalClock::time_to_cycle_end_ns)
+                .fold(0.0f64, f64::max);
+            clocks
+                .iter()
+                .map(|c| worst - c.time_to_cycle_end_ns())
+                .fold(0.0f64, f64::max)
+        };
         let (plans, _slowest) = synchronize_patches(policy, &clocks, rounds)?;
         // Apply each plan: the patch finishes its current cycle, runs
         // its extra rounds, then absorbs its idle budget.
@@ -285,9 +379,14 @@ impl Controller {
             finish.push(t);
         }
         let merge_tick = finish.iter().copied().max().expect("non-empty");
+        let mut planned_idle_ticks = 0u64;
+        let mut alignment_idle_ticks = 0u64;
+        let mut extra_rounds = 0u64;
         for ((id, plan), t) in ids.iter().zip(&plans).zip(&finish) {
             let p = &mut self.patches[id.0 as usize];
             p.rounds_completed += 1 + plan.extra_rounds as u64;
+            extra_rounds += plan.extra_rounds as u64;
+            planned_idle_ticks += plan.total_idle_ns().round() as u64;
             // Top up to the common alignment point with additional full
             // rounds where they fit, idling the remainder.
             let mut at = *t;
@@ -295,10 +394,52 @@ impl Controller {
                 at += p.cycle_ticks as u64;
                 p.rounds_completed += 1;
             }
+            alignment_idle_ticks += merge_tick - at;
             p.cycle_end_tick = merge_tick;
         }
         self.now = merge_tick;
-        Ok(merge_tick)
+        Ok(ControllerSyncReport {
+            merge_tick,
+            slack_ns,
+            planned_idle_ticks,
+            alignment_idle_ticks,
+            extra_rounds,
+            plans: ids.iter().copied().zip(plans).collect(),
+        })
+    }
+}
+
+/// Full accounting of one [`Controller::synchronize_report`] request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerSyncReport {
+    /// Tick at which every patch is aligned (the merged round starts).
+    pub merge_tick: u64,
+    /// The largest slack any patch had to absorb (the gap between the
+    /// earliest- and latest-finishing patches when the request arrived).
+    pub slack_ns: f64,
+    /// Idle time the plans themselves insert (the "Idling period" of
+    /// paper Table 2), summed over all listed patches — the quantity
+    /// the policies compete on.
+    pub planned_idle_ticks: u64,
+    /// Sub-round idle added on top of the plans when topping every
+    /// patch up to the common alignment point. Zero for pure idling
+    /// policies (their plans end exactly on the slowest patch's
+    /// boundary); extra-round plans target the paper's Eq. (1)/(2)
+    /// phase condition, whose alignment point the pairwise composition
+    /// pads to the latest boundary (see
+    /// [`synchronize`](Controller::synchronize)).
+    pub alignment_idle_ticks: u64,
+    /// Extra syndrome rounds inserted by the plans, summed over patches.
+    pub extra_rounds: u64,
+    /// The applied plan per patch. A plan whose `policy` differs from
+    /// the requested one records a per-pair fallback to Active.
+    pub plans: Vec<(PatchId, SyncPlan)>,
+}
+
+impl ControllerSyncReport {
+    /// Total idle realized by the request: planned plus alignment.
+    pub fn total_idle_ticks(&self) -> u64 {
+        self.planned_idle_ticks + self.alignment_idle_ticks
     }
 }
 
@@ -421,6 +562,189 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SyncError::InvalidParameter(_)));
         assert!(e.synchronize(&[a, b], SyncPolicy::Active, 8).is_ok());
+    }
+
+    #[test]
+    fn run_until_multi_second_jump_is_closed_form() {
+        // Regression: `run_until` used to advance one round per loop
+        // iteration, making a multi-second jump (billions of ticks at
+        // 1 GHz) take billions of iterations. The closed form must
+        // complete instantly with the identical round count.
+        let mut ctl = Controller::new();
+        let a = ctl.add_patch(1900, 0);
+        let b = ctl.add_patch(1111, 300);
+        let ten_seconds = 10_000_000_000u64; // 10 s at 1 tick = 1 ns
+        ctl.run_until(ten_seconds);
+        // Patch a: first round ends at 1900, then every 1900 ticks.
+        assert_eq!(
+            ctl.status(a).unwrap().rounds_completed,
+            (ten_seconds - 1900) / 1900 + 1
+        );
+        assert_eq!(
+            ctl.status(b).unwrap().rounds_completed,
+            (ten_seconds - 811) / 1111 + 1
+        );
+        // Cycle ends land strictly after `now`, on the round grid.
+        let sa = ctl.status(a).unwrap();
+        assert!(sa.cycle_end_tick > ten_seconds);
+        assert!(sa.cycle_end_tick - ten_seconds <= 1900);
+        assert_eq!(sa.cycle_end_tick % 1900, 0);
+    }
+
+    #[test]
+    fn run_until_matches_round_by_round_reference() {
+        // The closed form must agree with the old per-round loop.
+        let mut ctl = Controller::new();
+        let ids: Vec<PatchId> = [(1000u32, 0u32), (1325, 325), (1900, 700)]
+            .iter()
+            .map(|&(c, p)| ctl.add_patch(c, p))
+            .collect();
+        let mut reference: Vec<(u64, u64)> = [(1000u64, 1000u64), (1325, 1000), (1900, 1200)]
+            .iter()
+            .map(|&(c, end)| (c, end))
+            .collect();
+        let mut now = 0u64;
+        for step in [1u64, 999, 1, 4321, 100_000, 7] {
+            now += step;
+            ctl.run_until(now);
+            for (i, id) in ids.iter().enumerate() {
+                let (cycle, end) = &mut reference[i];
+                while *end <= now {
+                    *end += *cycle;
+                }
+                assert_eq!(ctl.status(*id).unwrap().cycle_end_tick, *end, "patch {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn deregistered_slot_is_reused() {
+        let mut ctl = Controller::new();
+        let a = ctl.add_patch(1000, 0);
+        let b = ctl.add_patch(1100, 0);
+        assert_eq!(ctl.active_patches(), 2);
+        ctl.deregister(a);
+        assert_eq!(ctl.active_patches(), 1);
+        assert_eq!(ctl.status(a), None);
+        // Deregistering twice does not double-free the slot.
+        ctl.deregister(a);
+        let c = ctl.add_patch(1300, 200);
+        assert_eq!(c, a, "freed slot is reused");
+        let d = ctl.add_patch(1400, 0);
+        assert_eq!(d.0, 2, "no free slot left: the table grows");
+        assert_eq!(ctl.status(c).unwrap().cycle_ticks, 1300);
+        assert_eq!(ctl.status(b).unwrap().cycle_ticks, 1100);
+    }
+
+    #[test]
+    fn set_cycle_ticks_applies_from_next_round() {
+        let mut ctl = Controller::new();
+        let a = ctl.add_patch(1000, 0);
+        ctl.run_until(500); // mid-round, 500 ticks remaining
+        ctl.set_cycle_ticks(a, 2000);
+        // The round in flight keeps its end; later rounds use 2000.
+        assert_eq!(ctl.status(a).unwrap().cycle_end_tick, 1000);
+        ctl.run_until(1000);
+        assert_eq!(ctl.status(a).unwrap().cycle_end_tick, 3000);
+        // Shrinking below the in-flight remainder clamps the round end.
+        ctl.set_cycle_ticks(a, 100);
+        assert_eq!(ctl.status(a).unwrap().cycle_end_tick, 1100);
+        // Stale ids are ignored.
+        ctl.set_cycle_ticks(PatchId(99), 500);
+    }
+
+    #[test]
+    fn synchronize_report_accounts_idle_and_slack() {
+        let mut ctl = Controller::new();
+        let a = ctl.add_patch(1900, 0);
+        let b = ctl.add_patch(1900, 700); // leads by 700
+        let rep = ctl
+            .synchronize_report(&[a, b], SyncPolicy::Passive, 8)
+            .unwrap();
+        assert_eq!(rep.merge_tick, 1900);
+        assert!((rep.slack_ns - 700.0).abs() < 1e-9);
+        assert_eq!(rep.planned_idle_ticks, 700);
+        assert_eq!(rep.alignment_idle_ticks, 0);
+        assert_eq!(rep.total_idle_ticks(), 700);
+        assert_eq!(rep.extra_rounds, 0);
+        assert_eq!(rep.plans.len(), 2);
+        assert_eq!(ctl.now(), rep.merge_tick);
+    }
+
+    #[test]
+    fn synchronize_report_passive_and_active_realize_equal_idle() {
+        for tau in [137u32, 500, 1333] {
+            let mut passive = Controller::new();
+            let mut active = Controller::new();
+            let (pa, pb) = (passive.add_patch(1900, 0), passive.add_patch(1900, tau));
+            let (aa, ab) = (active.add_patch(1900, 0), active.add_patch(1900, tau));
+            let p = passive
+                .synchronize_report(&[pa, pb], SyncPolicy::Passive, 8)
+                .unwrap();
+            let a = active
+                .synchronize_report(&[aa, ab], SyncPolicy::Active, 8)
+                .unwrap();
+            assert_eq!(p.planned_idle_ticks, a.planned_idle_ticks, "tau={tau}");
+            assert_eq!(p.alignment_idle_ticks, 0, "tau={tau}");
+            assert_eq!(a.alignment_idle_ticks, 0, "tau={tau}");
+            assert_eq!(p.merge_tick, a.merge_tick, "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn synchronize_report_records_fallback_policy() {
+        // Equal cycle times make ExtraRounds infeasible pairwise; the
+        // applied plan must record the Active fallback.
+        let mut ctl = Controller::new();
+        let a = ctl.add_patch(1900, 0);
+        let b = ctl.add_patch(1900, 700);
+        let rep = ctl
+            .synchronize_report(&[a, b], SyncPolicy::ExtraRounds, 8)
+            .unwrap();
+        let fallback = rep
+            .plans
+            .iter()
+            .any(|(_, plan)| plan.policy == SyncPolicy::Active);
+        assert!(fallback, "leading patch fell back to Active");
+    }
+
+    #[test]
+    fn synchronize_catches_up_patches_left_behind_the_clock() {
+        // Regression: synchronizing [a, b] moves `now` without
+        // advancing c; a following synchronize that includes c must
+        // credit c's overdue rounds instead of underflowing on
+        // `cycle_end - now`.
+        let mut ctl = Controller::new();
+        let a = ctl.add_patch(1900, 0);
+        let b = ctl.add_patch(1900, 700);
+        let c = ctl.add_patch(1000, 0);
+        let first = ctl.synchronize(&[a, b], SyncPolicy::Passive, 8).unwrap();
+        assert!(first > 1000, "c's first cycle end is behind `now`");
+        let rep = ctl
+            .synchronize_report(&[b, c], SyncPolicy::Active, 8)
+            .unwrap();
+        assert!(rep.merge_tick >= first);
+        // c ran its 1000-tick rounds back-to-back up to `now` before
+        // planning: one full round plus the top-up to the merge.
+        assert!(ctl.status(c).unwrap().rounds_completed >= 1);
+        assert_eq!(ctl.status(c).unwrap().cycle_end_tick, rep.merge_tick);
+        assert_eq!(ctl.status(b).unwrap().cycle_end_tick, rep.merge_tick);
+    }
+
+    #[test]
+    fn back_to_back_synchronize_is_a_noop() {
+        // Immediately re-synchronizing aligned patches must neither
+        // panic (phase == cycle) nor insert idle.
+        let mut ctl = Controller::new();
+        let a = ctl.add_patch(1900, 0);
+        let b = ctl.add_patch(1900, 700);
+        let first = ctl.synchronize(&[a, b], SyncPolicy::Active, 8).unwrap();
+        let rep = ctl
+            .synchronize_report(&[a, b], SyncPolicy::Active, 8)
+            .unwrap();
+        assert_eq!(rep.merge_tick, first);
+        assert_eq!(rep.total_idle_ticks(), 0);
+        assert_eq!(rep.slack_ns, 0.0);
     }
 
     #[test]

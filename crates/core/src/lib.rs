@@ -53,7 +53,9 @@ pub use case_studies::{
     SlackStats,
 };
 pub use clock::{synchronize_patches, LogicalClock};
-pub use engine::{Controller, PatchId, PatchStatus, SyncEngine, SyncRequestOutcome};
+pub use engine::{
+    Controller, ControllerSyncReport, PatchId, PatchStatus, SyncEngine, SyncRequestOutcome,
+};
 pub use error::SyncError;
 pub use policy::{plan_sync, SyncPlan, SyncPolicy};
 pub use solver::{solve_extra_rounds, solve_hybrid, HybridSolution};

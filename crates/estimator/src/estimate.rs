@@ -77,6 +77,19 @@ impl LogicalEstimate {
             physical_qubits,
         }
     }
+
+    /// Syndrome rounds available to a synchronization plan before each
+    /// Lattice Surgery merge (`d + 1`, the window the paper gives every
+    /// policy to absorb slack in).
+    pub fn pre_merge_rounds(&self) -> u32 {
+        self.code_distance + 1
+    }
+
+    /// Rounds the merged patch pair spends joined per Lattice Surgery
+    /// operation (`d` rounds of joint syndrome measurement).
+    pub fn merge_window_rounds(&self) -> u32 {
+        self.code_distance
+    }
 }
 
 /// The Fig. 16 model: the final program logical error rate under a

@@ -5,12 +5,15 @@
 //!                       [--min-failures N] [--rse X] [--max-shots N]
 //!                       [--resume FILE]
 //! repro all [--full]
+//! repro --list
 //! ```
 //!
 //! Experiments: fig1c fig1d fig3c fig4a fig4b fig6 fig7 fig10 fig11
 //! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 table1 table2
-//! (fig19 includes table4; fig21 includes table5). Markdown goes to
-//! stdout; CSVs to `--out` (default `results/`).
+//! runtime (fig19 includes table4; fig21 includes table5; `runtime` is
+//! the program-level {workload x policy} runtime/overhead evaluation).
+//! `--list` prints the known experiment names and exits 0. Markdown
+//! goes to stdout; CSVs to `--out` (default `results/`).
 //!
 //! Any of `--min-failures` / `--rse` / `--max-shots` switches the LER
 //! experiments into **adaptive mode**: sampling streams in
@@ -32,6 +35,7 @@ use std::sync::Arc;
 const ALL: &[&str] = &[
     "fig1c", "fig1d", "fig3c", "fig4a", "fig4b", "fig6", "fig7", "fig10", "fig11", "fig14",
     "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "table1", "table2",
+    "runtime",
 ];
 
 /// Aliases accepted in addition to [`ALL`] (tables embedded in
@@ -64,6 +68,7 @@ fn run_one(name: &str, config: &Config) -> Option<Vec<Table>> {
         "fig22" => exp::fig22::run(config),
         "table1" => exp::table1::run(config),
         "table2" => exp::table2::run(config),
+        "runtime" => exp::runtime::run(config),
         _ => return None,
     };
     Some(tables)
@@ -74,9 +79,23 @@ fn usage_and_exit() -> ! {
         "usage: repro <experiment>... [--full] [--shots N] [--threads N] [--out DIR] \
          [--min-failures N] [--rse X] [--max-shots N] [--resume FILE]"
     );
+    eprintln!("       repro --list");
     eprintln!("experiments: {} all", ALL.join(" "));
     eprintln!("aliases: {}", ALIASES.join(" "));
     std::process::exit(2);
+}
+
+/// `repro --list`: the discoverability path — every runnable experiment
+/// name on stdout, one per line, exit 0 (no need to trip the exit-2
+/// validation to learn the names).
+fn list_and_exit() -> ! {
+    for name in ALL {
+        println!("{name}");
+    }
+    for name in ALIASES {
+        println!("{name}");
+    }
+    std::process::exit(0);
 }
 
 /// The value following a flag; exits with usage on a trailing flag.
@@ -110,6 +129,7 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--list" => list_and_exit(),
             "--full" => config = Config::full(),
             "--shots" => {
                 config.shots = parse_or_exit(flag_value(&args, &mut i, "--shots"), "--shots")

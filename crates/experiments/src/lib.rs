@@ -26,6 +26,7 @@ pub mod decode_figs;
 pub mod ler_figs;
 pub mod pipeline;
 pub mod runner;
+pub mod runtime_figs;
 pub mod solver_figs;
 mod table;
 
@@ -40,6 +41,7 @@ pub use decode_figs::{fig01c, fig07, fig22};
 pub use ler_figs::{
     fig14, fig15, fig16, fig17, fig18, fig19_table4, fig1d, fig21_table5, table1, table2,
 };
+pub use runtime_figs::runtime;
 pub use solver_figs::{fig10, fig11};
 
 /// Global experiment configuration.

@@ -1,0 +1,158 @@
+//! Program-level runtime evaluation (the paper's Section 6 claim at
+//! system scale): every workload executed under every policy.
+
+use crate::{Config, Table};
+use ftqc_estimator::{workloads, LogicalEstimate};
+use ftqc_noise::HardwareConfig;
+use ftqc_runtime::{execute, ProgramSchedule, RuntimeConfig};
+use ftqc_sync::SyncPolicy;
+
+/// The `repro runtime` experiment: for each of the six MQTBench
+/// workloads, compile the merge-event schedule from its resource
+/// estimate and execute it under all five synchronization policies on
+/// an IBM-like system, reporting total runtime and synchronization
+/// overhead — plus the per-merge slack distribution of the Passive
+/// baseline for the first workload.
+pub mod runtime {
+    use super::*;
+
+    /// The five policies of the paper's evaluation, in Table 2 order.
+    pub fn policies() -> [SyncPolicy; 5] {
+        [
+            SyncPolicy::Passive,
+            SyncPolicy::Active,
+            SyncPolicy::ActiveIntra,
+            SyncPolicy::ExtraRounds,
+            SyncPolicy::hybrid(400.0),
+        ]
+    }
+
+    /// Merge-event budget per (workload, policy) run: scales with the
+    /// preset's shot count so `--shots` tunes runtime cost the same way
+    /// it tunes the LER experiments (quick: 1000 merges, full: 25000).
+    pub fn max_merges(config: &Config) -> u64 {
+        (config.shots / 20).clamp(250, 25_000)
+    }
+
+    /// Regenerates the {workload x policy} runtime/overhead table and
+    /// the Passive slack histogram. Deterministic for a fixed
+    /// `config.seed` regardless of `config.threads` (the runtime is a
+    /// single sequential event loop).
+    pub fn run(config: &Config) -> Vec<Table> {
+        let hw = HardwareConfig::ibm();
+        let cap = max_merges(config);
+        let mut t = Table::new(
+            "runtime_overhead",
+            format!(
+                "Program runtime and sync overhead per policy (IBM-like, seed {}, \
+                 <= {cap} merges per run)",
+                config.seed
+            ),
+            [
+                "workload",
+                "policy",
+                "merges",
+                "runtime (ms)",
+                "sync idle (us)",
+                "overhead %",
+                "extra rounds",
+                "mean slack (ns)",
+                "fallbacks",
+            ],
+        );
+        let mut hist = Table::new(
+            "runtime_slack_hist",
+            "Per-merge slack distribution, Passive baseline, first workload",
+            ["bin start (ns)", "bin end (ns)", "merges"],
+        );
+        for (wi, w) in workloads::catalog().iter().enumerate() {
+            let estimate = LogicalEstimate::for_workload(w, 1e-3, 1e-2);
+            let schedule = ProgramSchedule::compile(w, &estimate, cap, config.seed);
+            for policy in policies() {
+                let report = execute(&schedule, &RuntimeConfig::new(&hw, policy, config.seed));
+                t.push_row([
+                    w.name.clone(),
+                    policy.to_string(),
+                    report.merges.to_string(),
+                    format!("{:.3}", report.total_ns as f64 / 1e6),
+                    format!("{:.1}", report.sync_idle_ns as f64 / 1e3),
+                    format!("{:.3}", report.overhead_percent()),
+                    report.extra_rounds.to_string(),
+                    format!("{:.0}", report.mean_slack_ns()),
+                    report.fallbacks.to_string(),
+                ]);
+                if wi == 0 && policy == SyncPolicy::Passive {
+                    let width = report.slack.bin_width_ns();
+                    for (i, count) in report.slack.bins().iter().enumerate() {
+                        hist.push_row([
+                            format!("{:.0}", i as f64 * width),
+                            format!("{:.0}", (i + 1) as f64 * width),
+                            count.to_string(),
+                        ]);
+                    }
+                }
+            }
+        }
+        vec![t, hist]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Config {
+        Config {
+            shots: 2_000, // 250-merge cap
+            seed: 2025,
+            ..Config::quick()
+        }
+    }
+
+    #[test]
+    fn runtime_table_covers_all_workloads_and_policies() {
+        let tables = runtime::run(&tiny_config());
+        assert_eq!(tables[0].rows.len(), 6 * 5);
+        assert_eq!(tables[1].rows.len(), 16); // histogram bins
+        let merges: u64 = tables[1]
+            .rows
+            .iter()
+            .map(|r| r[2].parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(merges, 250);
+    }
+
+    #[test]
+    fn runtime_table_reproduces_policy_ordering() {
+        let tables = runtime::run(&tiny_config());
+        // Group rows per workload: overhead % is column 5.
+        for chunk in tables[0].rows.chunks(5) {
+            let overhead: Vec<f64> = chunk.iter().map(|r| r[5].parse().unwrap()).collect();
+            let (passive, active, er, hybrid) =
+                (overhead[0], overhead[1], overhead[3], overhead[4]);
+            let workload = &chunk[0][0];
+            assert!(
+                passive >= active,
+                "{workload}: passive {passive} < active {active}"
+            );
+            assert!(
+                active >= er,
+                "{workload}: active {active} < extra-rounds {er}"
+            );
+            assert!(
+                active >= hybrid,
+                "{workload}: active {active} < hybrid {hybrid}"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_is_deterministic_per_seed() {
+        let a = runtime::run(&tiny_config());
+        let b = runtime::run(&tiny_config());
+        assert_eq!(a, b);
+        let mut other_threads = tiny_config();
+        other_threads.threads = 7;
+        assert_eq!(runtime::run(&other_threads), a);
+    }
+}

@@ -7,6 +7,9 @@
 //! lowers a timed [`Schedule`](ftqc_circuit::Schedule) into a flat noisy
 //! [`Circuit`](ftqc_circuit::Circuit) by appending gate errors after each
 //! operation and idle errors for every gap in each qubit's timeline.
+//! [`TimingModel`] samples the per-patch cycle-time heterogeneity
+//! (calibration spread, per-round jitter, drift) the program-level
+//! runtime injects into its discrete-event execution.
 //!
 //! # Example
 //!
@@ -27,8 +30,10 @@ mod config;
 mod dephasing;
 mod idle;
 mod model;
+mod timing;
 
 pub use config::HardwareConfig;
 pub use dephasing::QuasiStaticDephasing;
 pub use idle::IdleModel;
 pub use model::CircuitNoiseModel;
+pub use timing::TimingModel;

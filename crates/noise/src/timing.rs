@@ -1,0 +1,151 @@
+//! Cycle-time heterogeneity: calibration spread, jitter and drift.
+//!
+//! The paper's premise (Section 3) is that nominally identical patches
+//! do **not** share one cycle time: calibration fixes per-patch gate
+//! and readout durations that differ across the chip, and each round's
+//! realized duration additionally wobbles (control-electronics jitter)
+//! and slowly drifts between recalibrations. [`TimingModel`] samples
+//! all three effects for a program-level runtime; the sampled values
+//! are what an `ftqc-sync` `Controller` executes tick-accurately. See
+//! DESIGN.md, "Runtime event model".
+
+use crate::HardwareConfig;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Per-patch cycle-time distribution for a hardware platform.
+///
+/// * **Calibration spread** — each patch draws a fixed cycle time
+///   uniformly in `base * (1 ± calibration_spread)` when registered,
+///   modeling per-patch calibration heterogeneity.
+/// * **Jitter** — every observation of a patch's cycle time wobbles
+///   uniformly by `± jitter_ns` around its calibrated value.
+/// * **Drift** — the calibrated value lengthens by `drift_ns_per_round`
+///   for every completed round (aging between recalibrations).
+///
+/// # Example
+///
+/// ```
+/// use ftqc_noise::{HardwareConfig, TimingModel};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let model = TimingModel::for_hardware(&HardwareConfig::ibm());
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let calibrated = model.calibrated_cycle_ns(&mut rng);
+/// let spread = model.base_cycle_ns * model.calibration_spread;
+/// assert!((calibrated - model.base_cycle_ns).abs() <= spread);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModel {
+    /// Nominal (data-sheet) cycle time, nanoseconds.
+    pub base_cycle_ns: f64,
+    /// Fractional half-width of the per-patch calibration distribution.
+    pub calibration_spread: f64,
+    /// Half-width of the per-round cycle-time jitter, nanoseconds.
+    pub jitter_ns: f64,
+    /// Slow lengthening per completed round, nanoseconds.
+    pub drift_ns_per_round: f64,
+}
+
+impl TimingModel {
+    /// The defaults used by the program-level runtime: 3% calibration
+    /// spread (the scale separating the paper's Table 3 platforms from
+    /// their own worst patches), 5 ns of per-round jitter, no drift.
+    pub fn for_hardware(hardware: &HardwareConfig) -> TimingModel {
+        TimingModel {
+            base_cycle_ns: hardware.cycle_time_ns(),
+            calibration_spread: 0.03,
+            jitter_ns: 5.0,
+            drift_ns_per_round: 0.0,
+        }
+    }
+
+    /// A perfectly homogeneous system: every patch runs at exactly the
+    /// nominal cycle time (the idealized baseline the paper compares
+    /// against).
+    pub fn ideal(base_cycle_ns: f64) -> TimingModel {
+        assert!(base_cycle_ns > 0.0, "cycle time must be positive");
+        TimingModel {
+            base_cycle_ns,
+            calibration_spread: 0.0,
+            jitter_ns: 0.0,
+            drift_ns_per_round: 0.0,
+        }
+    }
+
+    /// Draws one patch's calibrated cycle time, uniform in
+    /// `base * (1 ± calibration_spread)` and clamped to at least 1 ns.
+    pub fn calibrated_cycle_ns(&self, rng: &mut SmallRng) -> f64 {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        (self.base_cycle_ns * (1.0 + self.calibration_spread * u)).max(1.0)
+    }
+
+    /// The cycle time a patch calibrated at `calibrated_ns` realizes
+    /// after `rounds_completed` rounds: calibration plus accumulated
+    /// drift plus one fresh jitter draw, clamped to at least 1 ns.
+    pub fn observed_cycle_ns(
+        &self,
+        calibrated_ns: f64,
+        rounds_completed: u64,
+        rng: &mut SmallRng,
+    ) -> f64 {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        (calibrated_ns + self.drift_ns_per_round * rounds_completed as f64 + self.jitter_ns * u)
+            .max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn calibrated_cycles_stay_within_spread() {
+        let model = TimingModel::for_hardware(&HardwareConfig::ibm());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let half_width = model.base_cycle_ns * model.calibration_spread;
+        for _ in 0..1000 {
+            let c = model.calibrated_cycle_ns(&mut rng);
+            assert!((c - model.base_cycle_ns).abs() <= half_width + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ideal_model_is_deterministic() {
+        let model = TimingModel::ideal(1900.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(model.calibrated_cycle_ns(&mut rng), 1900.0);
+        assert_eq!(model.observed_cycle_ns(1900.0, 1_000_000, &mut rng), 1900.0);
+    }
+
+    #[test]
+    fn drift_lengthens_with_rounds() {
+        let model = TimingModel {
+            base_cycle_ns: 1900.0,
+            calibration_spread: 0.0,
+            jitter_ns: 0.0,
+            drift_ns_per_round: 0.01,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let early = model.observed_cycle_ns(1900.0, 10, &mut rng);
+        let late = model.observed_cycle_ns(1900.0, 10_000, &mut rng);
+        assert!(late > early);
+        assert!((late - 1900.0 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_cycle_never_collapses_to_zero() {
+        let model = TimingModel {
+            base_cycle_ns: 2.0,
+            calibration_spread: 0.0,
+            jitter_ns: 50.0,
+            drift_ns_per_round: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(model.observed_cycle_ns(2.0, 0, &mut rng) >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Program-level metrics accumulated by the runtime.
+
+use ftqc_sync::SyncPolicy;
+
+/// A fixed-bin histogram of the slack absorbed per merge (the
+/// program-level analogue of the paper's Fig. 4a distributions).
+///
+/// Bins are `[i * bin_width, (i + 1) * bin_width)`; values at or beyond
+/// the last edge land in the final bin (the histogram never drops a
+/// sample).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackHistogram {
+    bin_width_ns: f64,
+    bins: Vec<u64>,
+    count: u64,
+    sum_ns: f64,
+    max_ns: f64,
+}
+
+impl SlackHistogram {
+    /// An empty histogram with `num_bins` bins of `bin_width_ns` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width_ns <= 0` or `num_bins == 0`.
+    pub fn new(bin_width_ns: f64, num_bins: usize) -> SlackHistogram {
+        assert!(bin_width_ns > 0.0, "bin width must be positive");
+        assert!(num_bins > 0, "need at least one bin");
+        SlackHistogram {
+            bin_width_ns,
+            bins: vec![0; num_bins],
+            count: 0,
+            sum_ns: 0.0,
+            max_ns: 0.0,
+        }
+    }
+
+    /// Records one merge's slack.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite slack.
+    pub fn record(&mut self, slack_ns: f64) {
+        assert!(
+            slack_ns.is_finite() && slack_ns >= 0.0,
+            "slack must be finite and non-negative"
+        );
+        let bin = ((slack_ns / self.bin_width_ns) as usize).min(self.bins.len() - 1);
+        self.bins[bin] += 1;
+        self.count += 1;
+        self.sum_ns += slack_ns;
+        self.max_ns = self.max_ns.max(slack_ns);
+    }
+
+    /// Bin counts, lowest bin first.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Width of each bin in nanoseconds.
+    pub fn bin_width_ns(&self) -> f64 {
+        self.bin_width_ns
+    }
+
+    /// Number of recorded merges.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean recorded slack, or 0 for an empty histogram.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns / self.count as f64
+        }
+    }
+
+    /// Largest recorded slack.
+    pub fn max_ns(&self) -> f64 {
+        self.max_ns
+    }
+}
+
+/// Program-level result of executing a [`ProgramSchedule`] under one
+/// synchronization policy.
+///
+/// [`ProgramSchedule`]: crate::ProgramSchedule
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramReport {
+    /// Workload name the schedule was compiled from.
+    pub workload: String,
+    /// Policy the run was executed under.
+    pub policy: SyncPolicy,
+    /// Merge events executed.
+    pub merges: u64,
+    /// Total program runtime in nanoseconds (1 controller tick = 1 ns).
+    pub total_ns: u64,
+    /// Policy-attributed synchronization idle (the "Idling period" of
+    /// paper Table 2 aggregated program-wide): idle the plans
+    /// themselves insert, summed over merges and patches, ns.
+    pub sync_idle_ns: u64,
+    /// Sub-round idle the controller pads on top of extra-round plans
+    /// when composing pairwise plans to a common alignment point
+    /// (zero for the pure idling policies), ns.
+    pub alignment_idle_ns: u64,
+    /// Extra syndrome rounds inserted by the policy, summed over merges.
+    pub extra_rounds: u64,
+    /// Merges where the requested policy was infeasible for the pair
+    /// and the plan fell back to Active.
+    pub fallbacks: u64,
+    /// Merges where a Hybrid plan was actually applied.
+    pub hybrid_applied: u64,
+    /// Largest residual idle any applied Hybrid plan carried, ns
+    /// (bounded by the policy's `epsilon_ns` whenever
+    /// `hybrid_applied > 0`).
+    pub max_hybrid_residual_ns: f64,
+    /// Distribution of the slack absorbed per merge.
+    pub slack: SlackHistogram,
+}
+
+impl ProgramReport {
+    /// Policy-attributed synchronization idle overhead as a percentage
+    /// of total runtime — the program-level "cost of desynchronization"
+    /// the paper's policies compete on (Passive >= Active >=
+    /// Extra-Rounds/Hybrid).
+    pub fn overhead_percent(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            100.0 * self.sync_idle_ns as f64 / self.total_ns as f64
+        }
+    }
+
+    /// Mean slack absorbed per merge, ns.
+    pub fn mean_slack_ns(&self) -> f64 {
+        self.slack.mean_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_moments() {
+        let mut h = SlackHistogram::new(100.0, 4);
+        for s in [0.0, 50.0, 150.0, 399.0, 1_000.0] {
+            h.record(s);
+        }
+        assert_eq!(h.bins(), &[2, 1, 0, 2]); // overflow lands in last bin
+        assert_eq!(h.count(), 5);
+        assert!((h.mean_ns() - 319.8).abs() < 1e-9);
+        assert_eq!(h.max_ns(), 1_000.0);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let h = SlackHistogram::new(10.0, 2);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn overhead_percent_handles_zero_runtime() {
+        let report = ProgramReport {
+            workload: "empty".into(),
+            policy: SyncPolicy::Passive,
+            merges: 0,
+            total_ns: 0,
+            sync_idle_ns: 0,
+            alignment_idle_ns: 0,
+            extra_rounds: 0,
+            fallbacks: 0,
+            hybrid_applied: 0,
+            max_hybrid_residual_ns: 0.0,
+            slack: SlackHistogram::new(100.0, 4),
+        };
+        assert_eq!(report.overhead_percent(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_width_rejected() {
+        SlackHistogram::new(0.0, 4);
+    }
+}

@@ -1,0 +1,213 @@
+//! Compiling a workload + logical estimate into a merge-event stream.
+
+use ftqc_estimator::{LogicalEstimate, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled Lattice Surgery merge: at logical cycle `cycle`, the
+/// compute patch `compute` consumes a magic state from factory
+/// `factory` through a synchronized merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeEvent {
+    /// Logical cycle index at which the merge issues.
+    pub cycle: u64,
+    /// Compute-patch index in `0..compute_patches`.
+    pub compute: u32,
+    /// Factory index in `0..factories`.
+    pub factory: u32,
+}
+
+/// A logical instruction schedule: the stream of lattice-surgery merge
+/// events a workload issues over its compute patches and magic-state
+/// factories, derived from the estimator's `syncs_per_cycle` rate and
+/// the gate-level analysis (see DESIGN.md, "Runtime event model").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSchedule {
+    /// Workload name the schedule was compiled from.
+    pub workload: String,
+    /// Compute patches (the estimator's `logical_qubits`, which include
+    /// routing overhead).
+    pub compute_patches: u32,
+    /// Magic-state factories feeding the merges.
+    pub factories: u32,
+    /// Pre-merge syndrome rounds available to each synchronization plan
+    /// (`d + 1`).
+    pub pre_merge_rounds: u32,
+    /// Rounds each merged pair spends joined (`d`).
+    pub merge_window_rounds: u32,
+    /// Logical cycles covered by `events` (the full program runs
+    /// `LogicalEstimate::logical_cycles`; a capped schedule covers a
+    /// prefix).
+    pub scheduled_cycles: u64,
+    /// Magic states the *full* program consumes (`events.len()` equals
+    /// this unless the compile was capped).
+    pub total_merges: u64,
+    /// The merge events, ordered by cycle.
+    pub events: Vec<MergeEvent>,
+}
+
+impl ProgramSchedule {
+    /// Compiles `workload`'s logical instruction schedule from its
+    /// resource estimate: merges arrive at `estimate.syncs_per_cycle`
+    /// per logical cycle, bounded per cycle by the factory count (which
+    /// the estimator already caps at the workload's concurrent-CNOT
+    /// width from the gate-level analysis), each targeting a
+    /// deterministically drawn compute patch and a round-robin factory.
+    ///
+    /// `max_merges` truncates the stream for quick presets (the
+    /// schedule then covers the first `scheduled_cycles` of the
+    /// program); pass `u64::MAX` for the full program. Compilation is
+    /// deterministic for a fixed `(workload, estimate, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimate has no factories or no magic states to
+    /// schedule (`LogicalEstimate::for_workload` never produces either
+    /// for the paper's catalog).
+    pub fn compile(
+        workload: &Workload,
+        estimate: &LogicalEstimate,
+        max_merges: u64,
+        seed: u64,
+    ) -> ProgramSchedule {
+        assert!(estimate.factories > 0, "schedule needs a factory");
+        assert!(estimate.magic_states > 0, "schedule needs magic states");
+        let target = estimate.magic_states.min(max_merges);
+        // Derive the stream from the workload name so two workloads
+        // with the same seed still exercise different patch sequences.
+        let mut rng = SmallRng::seed_from_u64(seed ^ fnv1a(workload.name.as_bytes()));
+        let compute_patches = u32::try_from(estimate.logical_qubits).expect("patch table fits u32");
+        let per_cycle_cap = u64::from(estimate.factories)
+            .min(workload.analysis.max_concurrent_cnots.max(1))
+            .max(1);
+        let mut events = Vec::with_capacity(target as usize);
+        let mut acc = 0.0f64;
+        let mut cycle = 0u64;
+        while (events.len() as u64) < target {
+            acc += estimate.syncs_per_cycle;
+            let mut due = (acc.floor() as u64).min(per_cycle_cap);
+            acc = (acc - due as f64).min(per_cycle_cap as f64);
+            while due > 0 && (events.len() as u64) < target {
+                let emitted = events.len() as u64;
+                events.push(MergeEvent {
+                    cycle,
+                    compute: rng.gen_range(0..compute_patches),
+                    factory: (emitted % u64::from(estimate.factories)) as u32,
+                });
+                due -= 1;
+            }
+            cycle += 1;
+        }
+        ProgramSchedule {
+            workload: workload.name.clone(),
+            compute_patches,
+            factories: estimate.factories,
+            pre_merge_rounds: estimate.pre_merge_rounds(),
+            merge_window_rounds: estimate.merge_window_rounds(),
+            scheduled_cycles: cycle,
+            total_merges: estimate.magic_states,
+            events,
+        }
+    }
+
+    /// Number of scheduled merge events.
+    pub fn merges(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Whether the schedule covers the full program or a capped prefix.
+    pub fn is_truncated(&self) -> bool {
+        self.merges() < self.total_merges
+    }
+}
+
+/// FNV-1a over a byte string; seeds the per-workload RNG stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_estimator::workloads;
+
+    fn qft_schedule(cap: u64) -> ProgramSchedule {
+        let w = workloads::qft(20);
+        let e = LogicalEstimate::for_workload(&w, 1e-3, 1e-2);
+        ProgramSchedule::compile(&w, &e, cap, 7)
+    }
+
+    #[test]
+    fn full_compile_schedules_every_magic_state() {
+        let w = workloads::qft(20);
+        let e = LogicalEstimate::for_workload(&w, 1e-3, 1e-2);
+        let s = ProgramSchedule::compile(&w, &e, u64::MAX, 7);
+        assert_eq!(s.merges(), e.magic_states);
+        assert!(!s.is_truncated());
+        // The emission rate reproduces syncs_per_cycle up to rounding.
+        let measured = s.merges() as f64 / s.scheduled_cycles as f64;
+        assert!(
+            (measured - e.syncs_per_cycle).abs() < 0.35,
+            "rate {measured} vs {}",
+            e.syncs_per_cycle
+        );
+    }
+
+    #[test]
+    fn capped_compile_truncates() {
+        let s = qft_schedule(100);
+        assert_eq!(s.merges(), 100);
+        assert!(s.is_truncated());
+        assert!(s.scheduled_cycles > 0);
+    }
+
+    #[test]
+    fn events_are_cycle_ordered_and_in_range() {
+        let s = qft_schedule(500);
+        let mut prev = 0u64;
+        for e in &s.events {
+            assert!(e.cycle >= prev);
+            prev = e.cycle;
+            assert!(e.compute < s.compute_patches);
+            assert!(e.factory < s.factories);
+        }
+    }
+
+    #[test]
+    fn per_cycle_concurrency_bounded_by_factories() {
+        let s = qft_schedule(2_000);
+        let mut per_cycle = std::collections::HashMap::new();
+        for e in &s.events {
+            *per_cycle.entry(e.cycle).or_insert(0u64) += 1;
+        }
+        for (&cycle, &n) in &per_cycle {
+            assert!(n <= u64::from(s.factories), "cycle {cycle} has {n} merges");
+        }
+    }
+
+    #[test]
+    fn compile_is_deterministic_and_workload_keyed() {
+        let a = qft_schedule(300);
+        let b = qft_schedule(300);
+        assert_eq!(a, b);
+        let w = workloads::ising(98);
+        let e = LogicalEstimate::for_workload(&w, 1e-3, 1e-2);
+        let c = ProgramSchedule::compile(&w, &e, 300, 7);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn catalog_schedules_compile() {
+        for w in workloads::catalog() {
+            let e = LogicalEstimate::for_workload(&w, 1e-3, 1e-2);
+            let s = ProgramSchedule::compile(&w, &e, 200, 1);
+            assert!(s.merges() > 0, "{}", w.name);
+            assert_eq!(s.pre_merge_rounds, e.code_distance + 1);
+        }
+    }
+}

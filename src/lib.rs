@@ -21,6 +21,7 @@
 //! | [`sync`] | `ftqc-sync` | **the paper's synchronization policies** |
 //! | [`qasm`] | `ftqc-qasm` | OpenQASM 2 front end |
 //! | [`estimator`] | `ftqc-estimator` | QRE-style resource estimation |
+//! | [`runtime`] | `ftqc-runtime` | **whole-program discrete-event runtime** |
 //! | [`experiments`] | `ftqc-experiments` | per-figure reproduction |
 //!
 //! # Quickstart
@@ -50,6 +51,31 @@
 //!     .run();
 //! println!("X_P X_P' logical error rate: {}", ler[2]);
 //! ```
+//!
+//! Scale up from one operation to a whole program with [`runtime`]:
+//! compile a workload's merge-event schedule and execute it under any
+//! policy, with per-patch calibration heterogeneity and per-round
+//! jitter injected:
+//!
+//! ```
+//! use ftqc::estimator::{workloads, LogicalEstimate};
+//! use ftqc::noise::HardwareConfig;
+//! use ftqc::runtime::{execute, ProgramSchedule, RuntimeConfig};
+//! use ftqc::sync::SyncPolicy;
+//!
+//! let workload = workloads::qft(20);
+//! let estimate = LogicalEstimate::for_workload(&workload, 1e-3, 1e-2);
+//! let schedule = ProgramSchedule::compile(&workload, &estimate, 200, 2025);
+//! let hw = HardwareConfig::ibm();
+//! for policy in [SyncPolicy::Passive, SyncPolicy::hybrid(400.0)] {
+//!     let report = execute(&schedule, &RuntimeConfig::new(&hw, policy, 2025));
+//!     println!(
+//!         "{policy}: {:.2} ms, {:.2}% sync idle",
+//!         report.total_ns as f64 / 1e6,
+//!         report.overhead_percent(),
+//!     );
+//! }
+//! ```
 
 pub use ftqc_circuit as circuit;
 pub use ftqc_decoder as decoder;
@@ -58,6 +84,7 @@ pub use ftqc_experiments as experiments;
 pub use ftqc_noise as noise;
 pub use ftqc_pauli as pauli;
 pub use ftqc_qasm as qasm;
+pub use ftqc_runtime as runtime;
 pub use ftqc_sim as sim;
 pub use ftqc_surface as surface;
 pub use ftqc_sync as sync;

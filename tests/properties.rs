@@ -112,4 +112,71 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn no_policy_idles_more_than_passive(
+        tau in 0.0f64..2500.0,
+        tp in 500.0f64..2000.0,
+        dt in 25.0f64..800.0,
+        rounds in 1u32..20,
+    ) {
+        let tpp = tp + dt;
+        let passive = plan_sync(SyncPolicy::Passive, tau, tp, tpp, rounds).unwrap();
+        let policies = [
+            SyncPolicy::Active,
+            SyncPolicy::ActiveIntra,
+            SyncPolicy::ExtraRounds,
+            SyncPolicy::Hybrid { epsilon_ns: 400.0, max_extra_rounds: 12 },
+        ];
+        for policy in policies {
+            let Ok(plan) = plan_sync(policy, tau, tp, tpp, rounds) else {
+                continue; // infeasible pair for this policy
+            };
+            // Dead time right before the merge is monotonically no
+            // worse than Passive's for every policy...
+            prop_assert!(
+                plan.final_idle_ns <= passive.final_idle_ns + 1e-9,
+                "{policy}: final idle {} > Passive {}",
+                plan.final_idle_ns,
+                passive.final_idle_ns
+            );
+            // ...and so is the total inserted idle, except that a
+            // Hybrid plan trades against its epsilon bound instead
+            // (its residual can exceed a *small* tau but never eps).
+            let bound = match plan.policy {
+                SyncPolicy::Hybrid { epsilon_ns, .. } => {
+                    passive.total_idle_ns().max(epsilon_ns)
+                }
+                _ => passive.total_idle_ns(),
+            };
+            prop_assert!(
+                plan.total_idle_ns() <= bound + 1e-9,
+                "{policy}: total idle {} > bound {bound}",
+                plan.total_idle_ns()
+            );
+        }
+    }
+
+    #[test]
+    fn extra_rounds_plan_is_idle_free_and_aligns(
+        tau in 0.0f64..2000.0,
+        tp in 500.0f64..2000.0,
+        dt in 25.0f64..800.0,
+        rounds in 1u32..20,
+    ) {
+        let tpp = tp + dt;
+        if let Ok(plan) = plan_sync(SyncPolicy::ExtraRounds, tau, tp, tpp, rounds) {
+            prop_assert!(plan.policy == SyncPolicy::ExtraRounds);
+            prop_assert_eq!(plan.total_idle_ns(), 0.0);
+            prop_assert_eq!(
+                plan.pre_round_idle_ns.len(),
+                (rounds + plan.extra_rounds) as usize
+            );
+            // The chosen round count satisfies Eq. (1) for the wrapped
+            // slack (plan_sync reduces tau modulo the lagging cycle).
+            let elapsed = plan.extra_rounds as f64 * tp + tau % tpp;
+            let ratio = elapsed / tpp;
+            prop_assert!((ratio - ratio.round()).abs() * tpp < 1e-5);
+        }
+    }
 }
