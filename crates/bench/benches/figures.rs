@@ -66,7 +66,7 @@ fn bench_runtime(c: &mut Criterion) {
     use ftqc_estimator::{workloads, LogicalEstimate};
     use ftqc_noise::HardwareConfig;
     use ftqc_runtime::{execute, ProgramSchedule, RuntimeConfig};
-    use ftqc_sync::SyncPolicy;
+    use ftqc_sync::PolicySpec;
 
     let workload = workloads::qft(80);
     let estimate = LogicalEstimate::for_workload(&workload, 1e-3, 1e-2);
@@ -80,9 +80,10 @@ fn bench_runtime(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(ProgramSchedule::compile(&workload, &estimate, 500, 99)))
     });
     for (name, policy) in [
-        ("execute_passive", SyncPolicy::Passive),
-        ("execute_active", SyncPolicy::Active),
-        ("execute_hybrid", SyncPolicy::hybrid(400.0)),
+        ("execute_passive", PolicySpec::Passive),
+        ("execute_active", PolicySpec::Active),
+        ("execute_hybrid", PolicySpec::hybrid(400.0)),
+        ("execute_dynamic_hybrid", PolicySpec::dynamic_hybrid()),
     ] {
         let cfg = RuntimeConfig::new(&hw, policy, 99);
         g.bench_function(name, |b| {

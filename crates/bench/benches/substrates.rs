@@ -6,7 +6,7 @@ use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
 use ftqc_pauli::Tableau;
 use ftqc_sim::{sample_batch, DetectorErrorModel};
 use ftqc_surface::MemoryConfig;
-use ftqc_sync::{PatchId, SyncEngine, SyncPolicy};
+use ftqc_sync::{PatchId, PolicySpec, SyncEngine};
 use std::time::Duration;
 
 fn configured(
@@ -78,7 +78,7 @@ fn bench_substrates(c: &mut Criterion) {
         engine.advance(12_345);
         b.iter(|| {
             engine
-                .synchronize(&ids, SyncPolicy::hybrid(400.0), 12)
+                .synchronize(&ids, &PolicySpec::hybrid(400.0), 12)
                 .unwrap()
         })
     });

@@ -1,7 +1,9 @@
 //! The synchronization microarchitecture (paper Section 5, Fig. 12).
 
-use crate::clock::{synchronize_patches, LogicalClock};
-use crate::policy::{SyncPlan, SyncPolicy};
+use crate::clock::{synchronize_patches, synchronize_patches_observed, LogicalClock};
+use crate::context::SlackWindow;
+use crate::policy::SyncPlan;
+use crate::strategy::SyncStrategy;
 use crate::SyncError;
 
 /// Identifier of a logical patch in the controller's tables.
@@ -21,7 +23,7 @@ pub struct PatchId(pub u32);
 /// # Example
 ///
 /// ```
-/// use ftqc_sync::{PatchId, SyncEngine, SyncPolicy};
+/// use ftqc_sync::{PatchId, SyncEngine};
 ///
 /// let mut engine = SyncEngine::new();
 /// let p = engine.register_patch(1900);
@@ -59,6 +61,8 @@ impl SyncEngine {
     }
 
     /// Clears a patch's valid bit (after it is merged or split away).
+    /// A documented no-op for unknown ids and for patches whose valid
+    /// bit is already clear — never a panic path.
     pub fn deregister(&mut self, id: PatchId) {
         if let Some(v) = self.valid.get_mut(id.0 as usize) {
             *v = false;
@@ -95,7 +99,7 @@ impl SyncEngine {
     }
 
     /// The slack calculator: plans the synchronization of the given
-    /// patches under `policy` with `rounds` pre-merge rounds, reading
+    /// patches under `strategy` with `rounds` pre-merge rounds, reading
     /// phases from the counter table and cycle durations from the
     /// metadata table.
     ///
@@ -106,7 +110,7 @@ impl SyncEngine {
     pub fn synchronize(
         &self,
         ids: &[PatchId],
-        policy: SyncPolicy,
+        strategy: &dyn SyncStrategy,
         rounds: u32,
     ) -> Result<SyncRequestOutcome, SyncError> {
         let mut requested = vec![false; self.counters.len()];
@@ -123,7 +127,7 @@ impl SyncEngine {
                 phase as f64,
             ));
         }
-        let (plans, slowest) = synchronize_patches(policy, &clocks, rounds)?;
+        let (plans, slowest) = synchronize_patches(strategy, &clocks, rounds)?;
         Ok(SyncRequestOutcome {
             plans: ids.iter().copied().zip(plans).collect(),
             slowest: ids[slowest],
@@ -160,12 +164,12 @@ pub struct PatchStatus {
 /// # Example
 ///
 /// ```
-/// use ftqc_sync::{Controller, SyncPolicy};
+/// use ftqc_sync::{Controller, PolicySpec};
 ///
 /// let mut ctl = Controller::new();
 /// let a = ctl.add_patch(1900, 0);
 /// let b = ctl.add_patch(1900, 700); // 700 ticks out of phase
-/// let merge_tick = ctl.synchronize(&[a, b], SyncPolicy::Active, 8).unwrap();
+/// let merge_tick = ctl.synchronize(&[a, b], &PolicySpec::Active, 8).unwrap();
 /// assert_eq!(ctl.status(a).unwrap().cycle_end_tick, merge_tick);
 /// assert_eq!(ctl.status(b).unwrap().cycle_end_tick, merge_tick);
 /// ```
@@ -178,6 +182,9 @@ pub struct Controller {
     /// Lattice Surgery operation) keep the table bounded by the number
     /// of *live* patches instead of growing per merge.
     free: Vec<u32>,
+    /// Slack observed by recent synchronization requests — the window
+    /// adaptive strategies plan from.
+    slack_window: SlackWindow,
 }
 
 #[derive(Debug, Clone)]
@@ -220,7 +227,11 @@ impl Controller {
 
     /// Removes a patch from execution (merged or measured away). Its
     /// slot — and id — becomes reusable by the next
-    /// [`add_patch`](Controller::add_patch). Stale ids are ignored.
+    /// [`add_patch`](Controller::add_patch).
+    ///
+    /// A documented no-op for ids the controller never issued and for
+    /// already-deregistered (double-freed) ids — never a panic path,
+    /// and a double free can never recycle the same slot twice.
     pub fn deregister(&mut self, id: PatchId) {
         if let Some(p) = self.patches.get_mut(id.0 as usize) {
             if p.valid {
@@ -305,11 +316,22 @@ impl Controller {
     pub fn synchronize(
         &mut self,
         ids: &[PatchId],
-        policy: SyncPolicy,
+        strategy: &dyn SyncStrategy,
         rounds: u32,
     ) -> Result<u64, SyncError> {
-        self.synchronize_report(ids, policy, rounds)
+        self.synchronize_report(ids, strategy, rounds)
             .map(|r| r.merge_tick)
+    }
+
+    /// The slack observed by this controller's recent synchronization
+    /// requests (most recent [`DEFAULT_SLACK_WINDOW`] merges), which
+    /// [`synchronize`](Controller::synchronize) hands to adaptive
+    /// strategies through [`SyncContext::observed`].
+    ///
+    /// [`DEFAULT_SLACK_WINDOW`]: crate::DEFAULT_SLACK_WINDOW
+    /// [`SyncContext::observed`]: crate::SyncContext::observed
+    pub fn recent_slack(&self) -> &SlackWindow {
+        &self.slack_window
     }
 
     /// [`synchronize`](Controller::synchronize) with full accounting:
@@ -325,7 +347,7 @@ impl Controller {
     pub fn synchronize_report(
         &mut self,
         ids: &[PatchId],
-        policy: SyncPolicy,
+        strategy: &dyn SyncStrategy,
         rounds: u32,
     ) -> Result<ControllerSyncReport, SyncError> {
         // A previous synchronize of *other* patches moves `now` without
@@ -367,7 +389,9 @@ impl Controller {
                 .map(|c| worst - c.time_to_cycle_end_ns())
                 .fold(0.0f64, f64::max)
         };
-        let (plans, _slowest) = synchronize_patches(policy, &clocks, rounds)?;
+        let (plans, _slowest) =
+            synchronize_patches_observed(strategy, &clocks, rounds, &self.slack_window)?;
+        self.slack_window.record(slack_ns);
         // Apply each plan: the patch finishes its current cycle, runs
         // its extra rounds, then absorbs its idle budget.
         let mut finish: Vec<u64> = Vec::with_capacity(ids.len());
@@ -446,6 +470,7 @@ impl ControllerSyncReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PolicySpec;
 
     #[test]
     fn counters_wrap_at_cycle_duration() {
@@ -482,7 +507,7 @@ mod tests {
         // manually shifting: advance 500, then register c.
         e.advance(500);
         let c = e.register_patch(1900);
-        let out = e.synchronize(&[a, b, c], SyncPolicy::Active, 8).unwrap();
+        let out = e.synchronize(&[a, b, c], &PolicySpec::Active, 8).unwrap();
         assert_eq!(out.plans.len(), 3);
         assert_eq!(out.slowest, c); // c just started its cycle
         let total: f64 = out.plans.iter().map(|(_, plan)| plan.total_idle_ns()).sum();
@@ -491,7 +516,7 @@ mod tests {
 
     #[test]
     fn controller_aligns_equal_cycle_patches() {
-        for policy in [SyncPolicy::Passive, SyncPolicy::Active] {
+        for policy in [&PolicySpec::Passive, &PolicySpec::Active] {
             let mut ctl = Controller::new();
             let a = ctl.add_patch(1900, 0);
             let b = ctl.add_patch(1900, 700);
@@ -507,7 +532,7 @@ mod tests {
         let a = ctl.add_patch(1000, 0);
         let b = ctl.add_patch(1325, 325);
         let tick = ctl
-            .synchronize(&[a, b], SyncPolicy::hybrid(400.0), 8)
+            .synchronize(&[a, b], &PolicySpec::hybrid(400.0), 8)
             .unwrap();
         assert_eq!(ctl.status(a).unwrap().cycle_end_tick, tick);
         assert_eq!(ctl.status(b).unwrap().cycle_end_tick, tick);
@@ -528,7 +553,7 @@ mod tests {
         let mut ctl = Controller::new();
         let _ = ctl.add_patch(1000, 0);
         let bogus = PatchId(42);
-        assert!(ctl.synchronize(&[bogus], SyncPolicy::Active, 8).is_err());
+        assert!(ctl.synchronize(&[bogus], &PolicySpec::Active, 8).is_err());
     }
 
     #[test]
@@ -539,7 +564,7 @@ mod tests {
         let before_a = ctl.status(a).unwrap();
         let before_b = ctl.status(b).unwrap();
         let err = ctl
-            .synchronize(&[a, b, a], SyncPolicy::Active, 8)
+            .synchronize(&[a, b, a], &PolicySpec::Active, 8)
             .unwrap_err();
         assert!(matches!(err, SyncError::InvalidParameter(_)));
         // The request must be rejected before any plan is applied:
@@ -548,7 +573,7 @@ mod tests {
         assert_eq!(ctl.status(b).unwrap(), before_b);
         assert_eq!(ctl.now(), 0);
         // A clean request on the same controller still succeeds.
-        let tick = ctl.synchronize(&[a, b], SyncPolicy::Active, 8).unwrap();
+        let tick = ctl.synchronize(&[a, b], &PolicySpec::Active, 8).unwrap();
         assert_eq!(ctl.status(a).unwrap().cycle_end_tick, tick);
     }
 
@@ -558,10 +583,10 @@ mod tests {
         let a = e.register_patch(1900);
         let b = e.register_patch(1900);
         let err = e
-            .synchronize(&[a, a, b], SyncPolicy::Active, 8)
+            .synchronize(&[a, a, b], &PolicySpec::Active, 8)
             .unwrap_err();
         assert!(matches!(err, SyncError::InvalidParameter(_)));
-        assert!(e.synchronize(&[a, b], SyncPolicy::Active, 8).is_ok());
+        assert!(e.synchronize(&[a, b], &PolicySpec::Active, 8).is_ok());
     }
 
     #[test]
@@ -659,7 +684,7 @@ mod tests {
         let a = ctl.add_patch(1900, 0);
         let b = ctl.add_patch(1900, 700); // leads by 700
         let rep = ctl
-            .synchronize_report(&[a, b], SyncPolicy::Passive, 8)
+            .synchronize_report(&[a, b], &PolicySpec::Passive, 8)
             .unwrap();
         assert_eq!(rep.merge_tick, 1900);
         assert!((rep.slack_ns - 700.0).abs() < 1e-9);
@@ -679,10 +704,10 @@ mod tests {
             let (pa, pb) = (passive.add_patch(1900, 0), passive.add_patch(1900, tau));
             let (aa, ab) = (active.add_patch(1900, 0), active.add_patch(1900, tau));
             let p = passive
-                .synchronize_report(&[pa, pb], SyncPolicy::Passive, 8)
+                .synchronize_report(&[pa, pb], &PolicySpec::Passive, 8)
                 .unwrap();
             let a = active
-                .synchronize_report(&[aa, ab], SyncPolicy::Active, 8)
+                .synchronize_report(&[aa, ab], &PolicySpec::Active, 8)
                 .unwrap();
             assert_eq!(p.planned_idle_ticks, a.planned_idle_ticks, "tau={tau}");
             assert_eq!(p.alignment_idle_ticks, 0, "tau={tau}");
@@ -699,12 +724,12 @@ mod tests {
         let a = ctl.add_patch(1900, 0);
         let b = ctl.add_patch(1900, 700);
         let rep = ctl
-            .synchronize_report(&[a, b], SyncPolicy::ExtraRounds, 8)
+            .synchronize_report(&[a, b], &PolicySpec::ExtraRounds, 8)
             .unwrap();
         let fallback = rep
             .plans
             .iter()
-            .any(|(_, plan)| plan.policy == SyncPolicy::Active);
+            .any(|(_, plan)| plan.policy == PolicySpec::Active);
         assert!(fallback, "leading patch fell back to Active");
     }
 
@@ -718,10 +743,10 @@ mod tests {
         let a = ctl.add_patch(1900, 0);
         let b = ctl.add_patch(1900, 700);
         let c = ctl.add_patch(1000, 0);
-        let first = ctl.synchronize(&[a, b], SyncPolicy::Passive, 8).unwrap();
+        let first = ctl.synchronize(&[a, b], &PolicySpec::Passive, 8).unwrap();
         assert!(first > 1000, "c's first cycle end is behind `now`");
         let rep = ctl
-            .synchronize_report(&[b, c], SyncPolicy::Active, 8)
+            .synchronize_report(&[b, c], &PolicySpec::Active, 8)
             .unwrap();
         assert!(rep.merge_tick >= first);
         // c ran its 1000-tick rounds back-to-back up to `now` before
@@ -738,13 +763,70 @@ mod tests {
         let mut ctl = Controller::new();
         let a = ctl.add_patch(1900, 0);
         let b = ctl.add_patch(1900, 700);
-        let first = ctl.synchronize(&[a, b], SyncPolicy::Active, 8).unwrap();
+        let first = ctl.synchronize(&[a, b], &PolicySpec::Active, 8).unwrap();
         let rep = ctl
-            .synchronize_report(&[a, b], SyncPolicy::Active, 8)
+            .synchronize_report(&[a, b], &PolicySpec::Active, 8)
             .unwrap();
         assert_eq!(rep.merge_tick, first);
         assert_eq!(rep.total_idle_ticks(), 0);
         assert_eq!(rep.slack_ns, 0.0);
+    }
+
+    #[test]
+    fn deregister_unknown_or_freed_ids_is_a_noop() {
+        // Controller: ids never issued, double frees and re-frees of a
+        // reused slot must all be safe no-ops.
+        let mut ctl = Controller::new();
+        let a = ctl.add_patch(1000, 0);
+        ctl.deregister(PatchId(999)); // never issued
+        assert_eq!(ctl.active_patches(), 1);
+        ctl.deregister(a);
+        ctl.deregister(a); // double free
+        ctl.deregister(a); // triple free, still fine
+        assert_eq!(ctl.active_patches(), 0);
+        // The slot is handed out exactly once despite the double free.
+        let b = ctl.add_patch(1100, 0);
+        assert_eq!(b, a, "freed slot reused");
+        let c = ctl.add_patch(1200, 0);
+        assert_ne!(c, b, "double free must not recycle the slot twice");
+        // Re-freeing the reused slot works normally.
+        ctl.deregister(b);
+        assert_eq!(ctl.status(b), None);
+        assert_eq!(ctl.status(c).unwrap().cycle_ticks, 1200);
+        // SyncEngine: same contract.
+        let mut e = SyncEngine::new();
+        let p = e.register_patch(1000);
+        e.deregister(PatchId(42)); // never issued
+        e.deregister(p);
+        e.deregister(p); // double free
+        assert_eq!(e.active_patches(), 0);
+    }
+
+    #[test]
+    fn controller_records_slack_window() {
+        let mut ctl = Controller::new();
+        let a = ctl.add_patch(1900, 0);
+        let b = ctl.add_patch(1900, 700);
+        assert!(ctl.recent_slack().is_empty());
+        ctl.synchronize(&[a, b], &PolicySpec::Active, 8).unwrap();
+        assert_eq!(ctl.recent_slack().len(), 1);
+        assert!((ctl.recent_slack().max_ns().unwrap() - 700.0).abs() < 1e-9);
+        // A back-to-back request observes (and records) zero slack.
+        ctl.synchronize(&[a, b], &PolicySpec::Active, 8).unwrap();
+        assert_eq!(ctl.recent_slack().len(), 2);
+    }
+
+    #[test]
+    fn dynamic_hybrid_plans_through_the_controller() {
+        let spec = PolicySpec::dynamic_hybrid();
+        let mut ctl = Controller::new();
+        let a = ctl.add_patch(1000, 0);
+        let b = ctl.add_patch(1325, 325);
+        let rep = ctl.synchronize_report(&[a, b], &spec, 8).unwrap();
+        assert_eq!(ctl.status(a).unwrap().cycle_end_tick, rep.merge_tick);
+        assert_eq!(ctl.status(b).unwrap().cycle_end_tick, rep.merge_tick);
+        // The applied plan is stamped with the dynamic spec.
+        assert!(rep.plans.iter().all(|(_, p)| p.policy == spec));
     }
 
     #[test]
@@ -753,7 +835,7 @@ mod tests {
         let ids: Vec<PatchId> = (0..16)
             .map(|i| ctl.add_patch(1900, (i * 113) % 1900))
             .collect();
-        let tick = ctl.synchronize(&ids, SyncPolicy::Active, 8).unwrap();
+        let tick = ctl.synchronize(&ids, &PolicySpec::Active, 8).unwrap();
         for id in ids {
             assert_eq!(ctl.status(id).unwrap().cycle_end_tick, tick);
         }

@@ -7,9 +7,15 @@
 //! patches before a Lattice Surgery operation, and the runtime
 //! microarchitecture that computes and applies them.
 //!
-//! * [`SyncPolicy`] / [`SyncPlan`] — the Passive, Active, Active-intra,
-//!   Extra-Rounds and Hybrid policies (paper Section 4), planned from a
-//!   slack `tau` and the patch cycle times.
+//! * [`SyncStrategy`] / [`PolicySpec`] / [`SyncContext`] — the **open
+//!   policy API**: any `SyncStrategy` plans from a validated context
+//!   (slack, both cycle times, round budget, observed timing), and the
+//!   built-in policies are nameable as round-trippable
+//!   `Display`/`FromStr` specs (`"hybrid:eps=400,max=5"`).
+//! * [`strategies`] — the Passive, Active, Active-intra, Extra-Rounds
+//!   and Hybrid policies (paper Section 4) plus the drift-adaptive
+//!   [`strategies::DynamicHybrid`], which picks its tolerance per merge
+//!   from the controller's recent [`SlackWindow`].
 //! * [`solve_extra_rounds`] — the Diophantine condition of Eq. (1).
 //! * [`solve_hybrid`] — the bounded-slack condition of Eq. (2).
 //! * [`LogicalClock`] and [`synchronize_patches`] — k-patch
@@ -18,44 +24,58 @@
 //! * [`SyncEngine`] — the patch counter table, phase calculator and
 //!   slack calculator of the control microarchitecture (Section 5,
 //!   Fig. 12), plus a discrete-event [`Controller`] that executes
-//!   synchronized schedules.
+//!   synchronized schedules and feeds observed slack back to adaptive
+//!   strategies.
 //! * [`CultivationModel`] / [`qldpc_slack`] — the desynchronization
 //!   case studies of Section 3.4 (magic-state cultivation and qLDPC
 //!   memories).
+//! * [`SyncPolicy`] / [`plan_sync`] — the legacy closed-enum API, kept
+//!   as a thin deprecated shim over the strategies.
 //!
 //! # Example
 //!
 //! ```
-//! use ftqc_sync::{plan_sync, SyncPolicy};
+//! use ftqc_sync::{PolicySpec, SyncContext};
 //!
 //! // Patch P leads patch P' by 1000 ns; cycle times differ (Table 2).
-//! let plan = plan_sync(
-//!     SyncPolicy::hybrid(400.0),
+//! let ctx = SyncContext::new(
 //!     1000.0, // tau
 //!     1000.0, // T_P
 //!     1325.0, // T_P'
 //!     8,      // rounds available before the merge (d + 1)
 //! )
 //! .unwrap();
+//! let spec: PolicySpec = "hybrid:eps=400,max=5".parse().unwrap();
+//! let plan = spec.plan(&ctx).unwrap();
 //! assert_eq!(plan.extra_rounds, 4);
 //! assert!((plan.total_idle_ns() - 300.0).abs() < 1e-6);
+//! assert_eq!(spec.to_string().parse::<PolicySpec>().unwrap(), spec);
 //! ```
 
 mod case_studies;
 mod clock;
+mod context;
 mod engine;
 mod error;
 mod policy;
 mod solver;
+mod strategy;
 
 pub use case_studies::{
     dropout_cycle_time_ns, dropout_slack, qldpc_cycle_time_ns, qldpc_slack, CultivationModel,
     SlackStats,
 };
-pub use clock::{synchronize_patches, LogicalClock};
+pub use clock::{synchronize_patches, synchronize_patches_observed, LogicalClock};
+pub use context::{SlackWindow, SyncContext, DEFAULT_SLACK_WINDOW};
 pub use engine::{
     Controller, ControllerSyncReport, PatchId, PatchStatus, SyncEngine, SyncRequestOutcome,
 };
 pub use error::SyncError;
-pub use policy::{plan_sync, SyncPlan, SyncPolicy};
+#[allow(deprecated)]
+pub use policy::plan_sync;
+pub use policy::{SyncPlan, SyncPolicy};
 pub use solver::{solve_extra_rounds, solve_hybrid, HybridSolution};
+pub use strategy::{
+    strategies, PolicyParseError, PolicySpec, SyncStrategy, DEFAULT_DYNAMIC_FLOOR_NS,
+    DEFAULT_DYNAMIC_QUANTILE, DEFAULT_EPSILON_NS, DEFAULT_MAX_EXTRA_ROUNDS,
+};

@@ -1,10 +1,24 @@
-//! Synchronization policies (paper Section 4).
+//! Synchronization plans (paper Section 4) and the legacy closed-enum
+//! planning entry point.
+//!
+//! The planning logic itself lives in [`crate::strategies`] behind the
+//! open [`SyncStrategy`](crate::SyncStrategy) trait; this module keeps
+//! the [`SyncPlan`] output type, the legacy [`SyncPolicy`] enum and the
+//! deprecated [`plan_sync`] shim for code written against the closed
+//! API.
 
-use crate::solver::{solve_extra_rounds, solve_hybrid};
+use crate::context::SyncContext;
+use crate::strategy::PolicySpec;
 use crate::SyncError;
 use std::fmt;
 
-/// A synchronization policy for removing slack before Lattice Surgery.
+/// The original closed policy enum, superseded by [`PolicySpec`].
+///
+/// Kept as a convenience value type for code written against the
+/// pre-strategy API: it converts losslessly into a [`PolicySpec`]
+/// (`PolicySpec::from(policy)`), which is what every planning entry
+/// point now consumes. New policies (e.g. `dynamic-hybrid`) are *not*
+/// representable here — this enum will not grow.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SyncPolicy {
     /// The baseline: the leading patch idles for the entire slack
@@ -68,8 +82,11 @@ impl fmt::Display for SyncPolicy {
 /// merge.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SyncPlan {
-    /// The policy this plan realizes.
-    pub policy: SyncPolicy,
+    /// The policy this plan realizes. A plan produced through the
+    /// k-patch composition whose `policy` differs from the requested
+    /// spec records a per-pair fallback
+    /// (see [`synchronize_patches`](crate::synchronize_patches)).
+    pub policy: PolicySpec,
     /// Extra syndrome-generation rounds to run before the merge.
     pub extra_rounds: u32,
     /// Idle inserted before each pre-merge round (length = pre-merge
@@ -89,7 +106,7 @@ impl SyncPlan {
     }
 
     /// A no-op plan (already synchronized).
-    pub fn noop(policy: SyncPolicy, rounds: u32) -> SyncPlan {
+    pub fn noop(policy: PolicySpec, rounds: u32) -> SyncPlan {
         SyncPlan {
             policy,
             extra_rounds: 0,
@@ -105,6 +122,12 @@ impl SyncPlan {
 /// before a Lattice Surgery operation, given `rounds` pre-merge
 /// syndrome rounds to work with (normally `d + 1`).
 ///
+/// Deprecated shim over the open strategy API: equivalent to
+/// `PolicySpec::from(policy).plan(&SyncContext::new(tau_ns, t_p_ns,
+/// t_p_prime_ns, rounds)?)`. Prefer building a [`SyncContext`] and
+/// calling [`PolicySpec::plan`] (or any custom
+/// [`SyncStrategy`](crate::SyncStrategy)) directly.
+///
 /// # Errors
 ///
 /// Propagates solver errors for [`SyncPolicy::ExtraRounds`] and
@@ -113,13 +136,18 @@ impl SyncPlan {
 /// # Example
 ///
 /// ```
-/// use ftqc_sync::{plan_sync, SyncPolicy};
+/// use ftqc_sync::{PolicySpec, SyncContext};
 ///
-/// let plan = plan_sync(SyncPolicy::Active, 1000.0, 1900.0, 1900.0, 8).unwrap();
+/// let ctx = SyncContext::new(1000.0, 1900.0, 1900.0, 8).unwrap();
+/// let plan = PolicySpec::Active.plan(&ctx).unwrap();
 /// assert_eq!(plan.pre_round_idle_ns.len(), 8);
 /// assert!((plan.pre_round_idle_ns[0] - 125.0).abs() < 1e-9);
 /// assert_eq!(plan.final_idle_ns, 0.0);
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use PolicySpec::plan with a SyncContext (open SyncStrategy API)"
+)]
 pub fn plan_sync(
     policy: SyncPolicy,
     tau_ns: f64,
@@ -127,72 +155,11 @@ pub fn plan_sync(
     t_p_prime_ns: f64,
     rounds: u32,
 ) -> Result<SyncPlan, SyncError> {
-    if rounds == 0 {
-        return Err(SyncError::InvalidParameter("rounds must be positive"));
-    }
-    if tau_ns.is_nan() || tau_ns < 0.0 {
-        return Err(SyncError::InvalidParameter("slack must be non-negative"));
-    }
-    if !(t_p_ns.is_finite() && t_p_ns > 0.0 && t_p_prime_ns.is_finite() && t_p_prime_ns > 0.0) {
-        return Err(SyncError::InvalidParameter("cycle times must be positive"));
-    }
-    // Slack is a phase difference: bounded by the lagging cycle time
-    // (tau = tau % T_cycle, paper Section 4.1).
-    let tau = tau_ns % t_p_prime_ns;
-    const MAX_EXTRA_ROUNDS: u32 = 100;
-    match policy {
-        SyncPolicy::Passive => Ok(SyncPlan {
-            policy,
-            extra_rounds: 0,
-            pre_round_idle_ns: vec![0.0; rounds as usize],
-            intra_round_idle_ns: 0.0,
-            final_idle_ns: tau,
-        }),
-        SyncPolicy::Active => Ok(SyncPlan {
-            policy,
-            extra_rounds: 0,
-            pre_round_idle_ns: vec![tau / rounds as f64; rounds as usize],
-            intra_round_idle_ns: 0.0,
-            final_idle_ns: 0.0,
-        }),
-        SyncPolicy::ActiveIntra => Ok(SyncPlan {
-            policy,
-            extra_rounds: 0,
-            pre_round_idle_ns: vec![0.0; rounds as usize],
-            intra_round_idle_ns: tau,
-            final_idle_ns: 0.0,
-        }),
-        SyncPolicy::ExtraRounds => {
-            let m = solve_extra_rounds(t_p_ns, t_p_prime_ns, tau, MAX_EXTRA_ROUNDS)?;
-            Ok(SyncPlan {
-                policy,
-                extra_rounds: m,
-                pre_round_idle_ns: vec![0.0; (rounds + m) as usize],
-                intra_round_idle_ns: 0.0,
-                final_idle_ns: 0.0,
-            })
-        }
-        SyncPolicy::Hybrid {
-            epsilon_ns,
-            max_extra_rounds,
-        } => {
-            let sol = solve_hybrid(t_p_ns, t_p_prime_ns, tau, epsilon_ns, max_extra_rounds)?;
-            let total_rounds = rounds + sol.extra_rounds;
-            Ok(SyncPlan {
-                policy,
-                extra_rounds: sol.extra_rounds,
-                pre_round_idle_ns: vec![
-                    sol.residual_ns / total_rounds as f64;
-                    total_rounds as usize
-                ],
-                intra_round_idle_ns: 0.0,
-                final_idle_ns: 0.0,
-            })
-        }
-    }
+    PolicySpec::from(policy).plan(&SyncContext::new(tau_ns, t_p_ns, t_p_prime_ns, rounds)?)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // pins the shim's behavior against the old API
 mod tests {
     use super::*;
 
@@ -203,6 +170,7 @@ mod tests {
         assert!(p.pre_round_idle_ns.iter().all(|&x| x == 0.0));
         assert_eq!(p.total_idle_ns(), 500.0);
         assert_eq!(p.extra_rounds, 0);
+        assert_eq!(p.policy, PolicySpec::Passive);
     }
 
     #[test]
@@ -238,6 +206,7 @@ mod tests {
         // Residual spread across all 12 rounds.
         assert_eq!(p.pre_round_idle_ns.len(), 12);
         assert!((p.pre_round_idle_ns[0] - 25.0).abs() < 1e-9);
+        assert_eq!(p.policy, PolicySpec::hybrid(400.0));
     }
 
     #[test]
@@ -278,5 +247,22 @@ mod tests {
     fn policy_display() {
         assert_eq!(SyncPolicy::Passive.to_string(), "Passive");
         assert_eq!(SyncPolicy::hybrid(400.0).to_string(), "Hybrid(eps=400ns)");
+    }
+
+    #[test]
+    fn shim_agrees_with_the_strategy_api() {
+        let cases = [
+            (SyncPolicy::Passive, 1900.0, 1900.0),
+            (SyncPolicy::Active, 1900.0, 1900.0),
+            (SyncPolicy::ActiveIntra, 1900.0, 1900.0),
+            (SyncPolicy::ExtraRounds, 1000.0, 1325.0),
+            (SyncPolicy::hybrid(400.0), 1000.0, 1325.0),
+        ];
+        for (policy, tp, tpp) in cases {
+            let old = plan_sync(policy, 1000.0, tp, tpp, 8).unwrap();
+            let ctx = SyncContext::new(1000.0, tp, tpp, 8).unwrap();
+            let new = PolicySpec::from(policy).plan(&ctx).unwrap();
+            assert_eq!(old, new, "{policy}");
+        }
     }
 }

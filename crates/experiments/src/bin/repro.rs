@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment>... [--full] [--shots N] [--threads N] [--out DIR]
 //!                       [--min-failures N] [--rse X] [--max-shots N]
-//!                       [--resume FILE]
+//!                       [--resume FILE] [--policy SPEC]
 //! repro all [--full]
 //! repro --list
 //! ```
@@ -25,10 +25,20 @@
 //! and resumes from it on restart, so long `--full` runs survive
 //! interruption. Results are bit-identical for a fixed seed regardless
 //! of `--threads`.
+//!
+//! `--policy SPEC` restricts the policy-sweep experiments (currently
+//! `runtime`) to one synchronization policy, named in the
+//! `PolicySpec` grammar: `passive`, `active`, `active-intra`,
+//! `extra-rounds`, `hybrid[:eps=400,max=5]`,
+//! `dynamic-hybrid[:eps=400,floor=50,q=0.25,max=5,deep=25]`. The same
+//! strings
+//! appear in the emitted tables' policy column, so any reported row
+//! can be re-run verbatim.
 
 use ftqc_experiments as exp;
 use ftqc_experiments::{CheckpointStore, Config, Table};
 use ftqc_sim::StopRule;
+use ftqc_sync::PolicySpec;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -77,7 +87,7 @@ fn run_one(name: &str, config: &Config) -> Option<Vec<Table>> {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro <experiment>... [--full] [--shots N] [--threads N] [--out DIR] \
-         [--min-failures N] [--rse X] [--max-shots N] [--resume FILE]"
+         [--min-failures N] [--rse X] [--max-shots N] [--resume FILE] [--policy SPEC]"
     );
     eprintln!("       repro --list");
     eprintln!("experiments: {} all", ALL.join(" "));
@@ -152,6 +162,16 @@ fn main() {
                 ))
             }
             "--resume" => resume = Some(PathBuf::from(flag_value(&args, &mut i, "--resume"))),
+            "--policy" => {
+                let spec = flag_value(&args, &mut i, "--policy");
+                match spec.parse::<PolicySpec>() {
+                    Ok(p) => config.policy = Some(p),
+                    Err(e) => {
+                        eprintln!("--policy: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "all" => experiments.extend(ALL.iter().map(|s| s.to_string())),
             name => experiments.push(name.to_string()),
         }

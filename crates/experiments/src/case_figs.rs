@@ -4,7 +4,7 @@ use crate::{Config, Table};
 use ftqc_estimator::{workloads, LogicalEstimate};
 use ftqc_noise::{HardwareConfig, QuasiStaticDephasing};
 use ftqc_sync::{
-    qldpc_cycle_time_ns, qldpc_slack, CultivationModel, PatchId, SyncEngine, SyncPolicy,
+    qldpc_cycle_time_ns, qldpc_slack, CultivationModel, PatchId, PolicySpec, SyncEngine,
 };
 
 /// Paper Fig. 3(c): lower bound on synchronizations per logical cycle
@@ -186,17 +186,17 @@ pub mod fig20 {
                 .map(|i| engine.register_patch(1000 + (i as u32 * 37) % 400))
                 .collect();
             engine.advance(12_345);
-            let timed = |policy: SyncPolicy| {
+            let timed = |policy: PolicySpec| {
                 let reps = 200;
                 let start = Instant::now();
                 for _ in 0..reps {
-                    let out = engine.synchronize(&ids, policy, 12).expect("plannable");
+                    let out = engine.synchronize(&ids, &policy, 12).expect("plannable");
                     std::hint::black_box(out);
                 }
                 start.elapsed().as_secs_f64() * 1e6 / reps as f64
             };
-            let active = timed(SyncPolicy::Active);
-            let hybrid = timed(SyncPolicy::hybrid(400.0));
+            let active = timed(PolicySpec::Active);
+            let hybrid = timed(PolicySpec::hybrid(400.0));
             right.push_row([
                 k.to_string(),
                 format!("{active:.2}"),

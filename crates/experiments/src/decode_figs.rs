@@ -7,7 +7,7 @@ use ftqc_decoder::{Decoder, DecoderKind, HierarchicalDecoder, LatencyModel};
 use ftqc_noise::HardwareConfig;
 use ftqc_sim::sample_batch;
 use ftqc_surface::RepetitionConfig;
-use ftqc_sync::SyncPolicy;
+use ftqc_sync::PolicySpec;
 
 /// Paper Fig. 1(c): repetition-code LER vs idle period before the final
 /// syndrome round, with a LUT decoder (Sherbrooke-like coherence:
@@ -82,7 +82,7 @@ pub mod fig07 {
         let hw = HardwareConfig::ibm();
         let d = config.focus_distance;
         // Panel (a): LER vs Hamming weight bucket under Passive.
-        let setup = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, 500.0);
+        let setup = LsSetup::homogeneous(d, &hw, PolicySpec::Passive, 500.0);
         let pipeline = EvalPipeline::lattice_surgery(setup.surgery_config())
             .decoder(DecoderKind::UnionFind)
             .build();
@@ -122,7 +122,7 @@ pub mod fig07 {
             ["round", "Passive", "Active"],
         );
         let mut per_round = Vec::new();
-        for policy in [SyncPolicy::Passive, SyncPolicy::Active] {
+        for policy in [PolicySpec::Passive, PolicySpec::Active] {
             let setup = LsSetup::homogeneous(d, &hw, policy, 500.0);
             // Sampling-only panel: no decoding, so stop the pipeline at
             // the lowered circuit (no DEM/graph/decoder).
@@ -192,7 +192,7 @@ pub mod fig22 {
         for d in distances {
             let mut hit_rates = Vec::new();
             let mut latencies = Vec::new();
-            for policy in [SyncPolicy::Passive, SyncPolicy::Active] {
+            for policy in [PolicySpec::Passive, PolicySpec::Active] {
                 let setup = LsSetup::homogeneous(d, &hw, policy, 500.0);
                 let pipeline = EvalPipeline::lattice_surgery(setup.surgery_config())
                     .decoder_seed(config.seed)

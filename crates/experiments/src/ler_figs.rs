@@ -7,7 +7,7 @@ use ftqc_decoder::DecoderKind;
 use ftqc_estimator::{program_ler_increase, workloads, LogicalEstimate};
 use ftqc_noise::HardwareConfig;
 use ftqc_surface::LsBasis;
-use ftqc_sync::SyncPolicy;
+use ftqc_sync::PolicySpec;
 
 fn fmt_rate(r: f64) -> String {
     format!("{r:.3e}")
@@ -64,9 +64,9 @@ pub mod fig14 {
                 );
                 for &d in &config.distances {
                     for tau in [500.0, 1000.0] {
-                        let mut passive = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, tau);
+                        let mut passive = LsSetup::homogeneous(d, &hw, PolicySpec::Passive, tau);
                         passive.basis = basis;
-                        let mut active = LsSetup::homogeneous(d, &hw, SyncPolicy::Active, tau);
+                        let mut active = LsSetup::homogeneous(d, &hw, PolicySpec::Active, tau);
                         active.basis = basis;
                         let p = ls_ler(&passive, config, config.seed);
                         let a = ls_ler(&active, config, config.seed + 1);
@@ -101,8 +101,8 @@ pub mod fig1d {
     pub fn run(config: &Config) -> Vec<Table> {
         let hw = HardwareConfig::ibm();
         let d = config.focus_distance;
-        let passive = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, 1000.0);
-        let active = LsSetup::homogeneous(d, &hw, SyncPolicy::Active, 1000.0);
+        let passive = LsSetup::homogeneous(d, &hw, PolicySpec::Passive, 1000.0);
+        let active = LsSetup::homogeneous(d, &hw, PolicySpec::Active, 1000.0);
         let p = ls_ler(&passive, config, config.seed);
         let a = ls_ler(&active, config, config.seed + 1);
         let red = reduction(&p, &a);
@@ -131,9 +131,9 @@ pub mod fig15 {
             ["d", "observable", "Ideal", "Active", "Passive"],
         );
         for &d in &config.distances {
-            let ideal = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, 0.0);
-            let act = LsSetup::homogeneous(d, &hw, SyncPolicy::Active, 1000.0);
-            let pas = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, 1000.0);
+            let ideal = LsSetup::homogeneous(d, &hw, PolicySpec::Passive, 0.0);
+            let act = LsSetup::homogeneous(d, &hw, PolicySpec::Active, 1000.0);
+            let pas = LsSetup::homogeneous(d, &hw, PolicySpec::Passive, 1000.0);
             let li = ls_ler(&ideal, config, config.seed);
             let la = ls_ler(&act, config, config.seed + 1);
             let lp = ls_ler(&pas, config, config.seed + 2);
@@ -160,15 +160,15 @@ pub mod fig16 {
     pub fn run(config: &Config) -> Vec<Table> {
         let hw = HardwareConfig::ibm();
         let d = config.focus_distance;
-        let rates = |policy: SyncPolicy, tau: f64, seed: u64| {
+        let rates = |policy: PolicySpec, tau: f64, seed: u64| {
             let setup = LsSetup::homogeneous(d, &hw, policy, tau);
             let l = ls_ler(&setup, config, seed);
             l[0].rate() + l[2].rate()
         };
-        let e_ideal = rates(SyncPolicy::Passive, 0.0, config.seed);
-        let e_active = rates(SyncPolicy::Active, 1000.0, config.seed + 1);
-        let e_pas_1000 = rates(SyncPolicy::Passive, 1000.0, config.seed + 2);
-        let e_pas_500 = rates(SyncPolicy::Passive, 500.0, config.seed + 3);
+        let e_ideal = rates(PolicySpec::Passive, 0.0, config.seed);
+        let e_active = rates(PolicySpec::Active, 1000.0, config.seed + 1);
+        let e_pas_1000 = rates(PolicySpec::Passive, 1000.0, config.seed + 2);
+        let e_pas_500 = rates(PolicySpec::Passive, 500.0, config.seed + 3);
         // Per-round idle-free logical error for the base term.
         let e_round = e_ideal / (2.0 * (d as f64 + 1.0));
         let mut t = Table::new(
@@ -205,9 +205,9 @@ pub mod fig17 {
         for &d in &config.distances {
             for basis in [LsBasis::Z, LsBasis::X] {
                 for tau in [500.0, 1000.0] {
-                    let mut pas = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, tau);
+                    let mut pas = LsSetup::homogeneous(d, &hw, PolicySpec::Passive, tau);
                     pas.basis = basis;
-                    let mut intra = LsSetup::homogeneous(d, &hw, SyncPolicy::ActiveIntra, tau);
+                    let mut intra = LsSetup::homogeneous(d, &hw, PolicySpec::ActiveIntra, tau);
                     intra.basis = basis;
                     let p = ls_ler(&pas, config, config.seed);
                     let i = ls_ler(&intra, config, config.seed + 1);
@@ -246,10 +246,10 @@ pub mod fig18 {
         for r in [0u32, 2, 4, 6, 8, 10] {
             let mut cells = vec![r.to_string()];
             for tau in [500.0, 1000.0] {
-                let mut pas = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, tau);
+                let mut pas = LsSetup::homogeneous(d, &hw, PolicySpec::Passive, tau);
                 pas.extra_rounds_both = r;
                 pas.decoder = DecoderKind::UnionFind; // large circuits; UF keeps this tractable
-                let mut act = LsSetup::homogeneous(d, &hw, SyncPolicy::Active, tau);
+                let mut act = LsSetup::homogeneous(d, &hw, PolicySpec::Active, tau);
                 act.extra_rounds_both = r;
                 act.decoder = DecoderKind::UnionFind;
                 let p = ls_ler(&pas, config, config.seed);
@@ -257,7 +257,7 @@ pub mod fig18 {
                 cells.push(fmt_red(reduction(&p, &aa)));
             }
             a.push_row(cells);
-            let mut ideal = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, 0.0);
+            let mut ideal = LsSetup::homogeneous(d, &hw, PolicySpec::Passive, 0.0);
             ideal.extra_rounds_both = r;
             ideal.decoder = DecoderKind::UnionFind;
             let l = ls_ler(&ideal, config, config.seed + 2);
@@ -277,29 +277,29 @@ pub mod fig19_table4 {
     pub fn run(config: &Config) -> Vec<Table> {
         let hw = HardwareConfig::ibm();
         let d = config.focus_distance;
-        let policies: Vec<(String, SyncPolicy)> = vec![
-            ("Active".into(), SyncPolicy::Active),
-            ("Extra Rounds".into(), SyncPolicy::ExtraRounds),
-            ("Hybrid (eps: 100)".into(), SyncPolicy::hybrid(100.0)),
-            ("Hybrid (eps: 200)".into(), SyncPolicy::hybrid(200.0)),
-            ("Hybrid (eps: 300)".into(), SyncPolicy::hybrid(300.0)),
-            ("Hybrid (eps: 400)".into(), SyncPolicy::hybrid(400.0)),
+        let policies: Vec<(String, PolicySpec)> = vec![
+            ("Active".into(), PolicySpec::Active),
+            ("Extra Rounds".into(), PolicySpec::ExtraRounds),
+            ("Hybrid (eps: 100)".into(), PolicySpec::hybrid(100.0)),
+            ("Hybrid (eps: 200)".into(), PolicySpec::hybrid(200.0)),
+            ("Hybrid (eps: 300)".into(), PolicySpec::hybrid(300.0)),
+            ("Hybrid (eps: 400)".into(), PolicySpec::hybrid(400.0)),
         ];
         let mut fig = Table::new(
             "fig19_policy_reduction",
             format!("Reduction vs Passive, averaged over T_P' = 1050/1100/1150 (d = {d})"),
             ["policy", "tau=500", "tau=1000"],
         );
-        let average = |policy: SyncPolicy, tau: f64, seed: u64| -> f64 {
+        let average = |policy: &PolicySpec, tau: f64, seed: u64| -> f64 {
             let mut total = 0.0;
             let mut n = 0.0;
             for tpp in [1050.0, 1100.0, 1150.0] {
                 // Extra-round penalties dominate here; UF suffices.
-                let mut pas = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, tau);
+                let mut pas = LsSetup::homogeneous(d, &hw, PolicySpec::Passive, tau);
                 pas.t_p_ns = 1000.0;
                 pas.t_p_prime_ns = tpp;
                 pas.decoder = DecoderKind::UnionFind;
-                let mut pol = LsSetup::homogeneous(d, &hw, policy, tau);
+                let mut pol = LsSetup::homogeneous(d, &hw, policy.clone(), tau);
                 pol.t_p_ns = 1000.0;
                 pol.t_p_prime_ns = tpp;
                 pol.decoder = DecoderKind::UnionFind;
@@ -318,8 +318,8 @@ pub mod fig19_table4 {
             }
         };
         for (name, policy) in &policies {
-            let r500 = average(*policy, 500.0, config.seed);
-            let r1000 = average(*policy, 1000.0, config.seed + 10);
+            let r500 = average(policy, 500.0, config.seed);
+            let r1000 = average(policy, 1000.0, config.seed + 10);
             fig.push_row([name.clone(), fmt_red(r500), fmt_red(r1000)]);
         }
         let mut t4 = Table::new(
@@ -330,18 +330,18 @@ pub mod fig19_table4 {
         for &dd in &config.distances {
             let mut row = vec![dd.to_string()];
             for policy in [
-                SyncPolicy::Active,
-                SyncPolicy::ExtraRounds,
-                SyncPolicy::hybrid(400.0),
+                PolicySpec::Active,
+                PolicySpec::ExtraRounds,
+                PolicySpec::hybrid(400.0),
             ] {
                 let mut total = 0.0;
                 let mut n = 0.0;
                 for tpp in [1050.0, 1100.0, 1150.0] {
-                    let mut pas = LsSetup::homogeneous(dd, &hw, SyncPolicy::Passive, 1000.0);
+                    let mut pas = LsSetup::homogeneous(dd, &hw, PolicySpec::Passive, 1000.0);
                     pas.t_p_ns = 1000.0;
                     pas.t_p_prime_ns = tpp;
                     pas.decoder = DecoderKind::UnionFind;
-                    let mut pol = LsSetup::homogeneous(dd, &hw, policy, 1000.0);
+                    let mut pol = LsSetup::homogeneous(dd, &hw, policy.clone(), 1000.0);
                     pol.t_p_ns = 1000.0;
                     pol.t_p_prime_ns = tpp;
                     pol.decoder = DecoderKind::UnionFind;
@@ -375,7 +375,7 @@ pub mod fig21_table5 {
         let ms = 1e6; // ns per ms
         let taus_ms = [0.2, 0.6, 1.0, 1.6, 2.0];
         let tpp_ms = [2.2, 2.4, 2.6];
-        let hybrid = |eps_ms: f64| SyncPolicy::Hybrid {
+        let hybrid = |eps_ms: f64| PolicySpec::Hybrid {
             epsilon_ns: eps_ms * ms,
             max_extra_rounds: 12,
         };
@@ -391,15 +391,16 @@ pub mod fig21_table5 {
         );
         for &tau_ms in &taus_ms {
             let mut row = vec![format!("{tau_ms}")];
-            for policy in [SyncPolicy::Active, hybrid(0.1), hybrid(0.4)] {
+            for policy in [PolicySpec::Active, hybrid(0.1), hybrid(0.4)] {
+                let policy = &policy;
                 let mut total = 0.0;
                 let mut n = 0.0;
                 for &tpp in &tpp_ms {
-                    let mut pas = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, tau_ms * ms);
+                    let mut pas = LsSetup::homogeneous(d, &hw, PolicySpec::Passive, tau_ms * ms);
                     pas.t_p_ns = 2.0 * ms;
                     pas.t_p_prime_ns = tpp * ms;
                     pas.decoder = DecoderKind::UnionFind;
-                    let mut pol = LsSetup::homogeneous(d, &hw, policy, tau_ms * ms);
+                    let mut pol = LsSetup::homogeneous(d, &hw, policy.clone(), tau_ms * ms);
                     pol.t_p_ns = 2.0 * ms;
                     pol.t_p_prime_ns = tpp * ms;
                     pol.decoder = DecoderKind::UnionFind;
@@ -463,8 +464,8 @@ pub mod table1 {
         );
         for tau in [500.0, 1000.0] {
             for &d in &config.distances {
-                let pas = LsSetup::homogeneous(d, &hw, SyncPolicy::Passive, tau);
-                let act = LsSetup::homogeneous(d, &hw, SyncPolicy::Active, tau);
+                let pas = LsSetup::homogeneous(d, &hw, PolicySpec::Passive, tau);
+                let act = LsSetup::homogeneous(d, &hw, PolicySpec::Active, tau);
                 let p = ls_ler(&pas, config, config.seed);
                 let a = ls_ler(&act, config, config.seed + 1);
                 let pe = p[0].successes() + p[2].successes();
@@ -502,9 +503,9 @@ pub mod table2 {
             ["policy", "idling (ns)", "extra rounds", "LER (merged)"],
         );
         for (name, policy) in [
-            ("Active", SyncPolicy::Active),
-            ("Extra Rounds", SyncPolicy::ExtraRounds),
-            ("Hybrid", SyncPolicy::hybrid(400.0)),
+            ("Active", PolicySpec::Active),
+            ("Extra Rounds", PolicySpec::ExtraRounds),
+            ("Hybrid", PolicySpec::hybrid(400.0)),
         ] {
             let mut setup = LsSetup::homogeneous(d, &hw, policy, 1000.0);
             setup.t_p_ns = 1000.0;

@@ -65,6 +65,10 @@ pub struct Config {
     /// Checkpoint store adaptive runs persist partial estimates to
     /// after every chunk (`repro --resume FILE`).
     pub checkpoint: Option<std::sync::Arc<CheckpointStore>>,
+    /// Restricts policy-sweep experiments (currently `runtime`) to one
+    /// synchronization policy (`repro --policy SPEC`); `None` runs the
+    /// full policy catalog.
+    pub policy: Option<ftqc_sync::PolicySpec>,
 }
 
 impl Config {
@@ -78,6 +82,7 @@ impl Config {
             seed: 2025,
             stop: None,
             checkpoint: None,
+            policy: None,
         }
     }
 
@@ -92,6 +97,7 @@ impl Config {
             seed: 2025,
             stop: None,
             checkpoint: None,
+            policy: None,
         }
     }
 }

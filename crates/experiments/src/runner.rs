@@ -6,7 +6,7 @@ use ftqc_decoder::DecoderKind;
 use ftqc_noise::HardwareConfig;
 use ftqc_sim::BinomialEstimate;
 use ftqc_surface::{LatticeSurgeryConfig, LsBasis};
-use ftqc_sync::{plan_sync, SyncPlan, SyncPolicy};
+use ftqc_sync::{PolicySpec, SyncContext, SyncPlan};
 
 /// One Lattice Surgery evaluation point.
 #[derive(Debug, Clone)]
@@ -18,7 +18,7 @@ pub struct LsSetup {
     /// Hardware configuration.
     pub hardware: HardwareConfig,
     /// Synchronization policy for the leading patch.
-    pub policy: SyncPolicy,
+    pub policy: PolicySpec,
     /// Initial slack, nanoseconds.
     pub tau_ns: f64,
     /// Abstract cycle time of the leading patch used by the solvers
@@ -44,7 +44,7 @@ impl LsSetup {
     pub fn homogeneous(
         d: u32,
         hardware: &HardwareConfig,
-        policy: SyncPolicy,
+        policy: PolicySpec,
         tau_ns: f64,
     ) -> LsSetup {
         let t = hardware.cycle_time_ns();
@@ -66,23 +66,12 @@ impl LsSetup {
     /// runtime selector of paper Section 5 does.
     pub fn plan(&self) -> SyncPlan {
         let rounds = self.d + 1 + self.extra_rounds_both;
-        plan_sync(
-            self.policy,
-            self.tau_ns,
-            self.t_p_ns,
-            self.t_p_prime_ns,
-            rounds,
-        )
-        .or_else(|_| {
-            plan_sync(
-                SyncPolicy::Active,
-                self.tau_ns,
-                self.t_p_ns,
-                self.t_p_prime_ns,
-                rounds,
-            )
-        })
-        .expect("active planning is total")
+        let ctx = SyncContext::new(self.tau_ns, self.t_p_ns, self.t_p_prime_ns, rounds)
+            .expect("setup parameters are validated");
+        self.policy
+            .plan(&ctx)
+            .or_else(|_| PolicySpec::Active.plan(&ctx))
+            .expect("active planning is total")
     }
 
     /// The Lattice Surgery circuit configuration this setup induces
@@ -155,7 +144,7 @@ mod tests {
     #[test]
     fn homogeneous_setup_plans_match_policy() {
         let hw = HardwareConfig::ibm();
-        let s = LsSetup::homogeneous(3, &hw, SyncPolicy::Passive, 700.0);
+        let s = LsSetup::homogeneous(3, &hw, PolicySpec::Passive, 700.0);
         let plan = s.plan();
         assert_eq!(plan.final_idle_ns, 700.0);
         assert_eq!(plan.pre_round_idle_ns.len(), 4);
@@ -164,18 +153,18 @@ mod tests {
     #[test]
     fn infeasible_policies_fall_back() {
         let hw = HardwareConfig::ibm();
-        let mut s = LsSetup::homogeneous(3, &hw, SyncPolicy::ExtraRounds, 700.0);
+        let mut s = LsSetup::homogeneous(3, &hw, PolicySpec::ExtraRounds, 700.0);
         // Equal cycle times: falls back to Active.
         let plan = s.plan();
-        assert_eq!(plan.policy, SyncPolicy::Active);
-        s.policy = SyncPolicy::hybrid(400.0);
+        assert_eq!(plan.policy, PolicySpec::Active);
+        s.policy = PolicySpec::hybrid(400.0);
         let _ = s.plan();
     }
 
     #[test]
     fn ls_ler_returns_three_observables() {
         let hw = HardwareConfig::ibm();
-        let s = LsSetup::homogeneous(3, &hw, SyncPolicy::Active, 500.0);
+        let s = LsSetup::homogeneous(3, &hw, PolicySpec::Active, 500.0);
         let config = Config {
             shots: 2_000,
             seed: 7,
@@ -189,7 +178,7 @@ mod tests {
     fn adaptive_ls_ler_stops_early_and_matches_fixed_prefix() {
         use ftqc_sim::StopRule;
         let hw = HardwareConfig::ibm();
-        let s = LsSetup::homogeneous(3, &hw, SyncPolicy::Passive, 1000.0);
+        let s = LsSetup::homogeneous(3, &hw, PolicySpec::Passive, 1000.0);
         let fixed = Config {
             shots: 30_000,
             seed: 7,

@@ -5,25 +5,29 @@ use crate::{Config, Table};
 use ftqc_estimator::{workloads, LogicalEstimate};
 use ftqc_noise::HardwareConfig;
 use ftqc_runtime::{execute, ProgramSchedule, RuntimeConfig};
-use ftqc_sync::SyncPolicy;
+use ftqc_sync::PolicySpec;
 
 /// The `repro runtime` experiment: for each of the six MQTBench
 /// workloads, compile the merge-event schedule from its resource
-/// estimate and execute it under all five synchronization policies on
-/// an IBM-like system, reporting total runtime and synchronization
+/// estimate and execute it under every synchronization policy on an
+/// IBM-like system, reporting total runtime and synchronization
 /// overhead — plus the per-merge slack distribution of the Passive
 /// baseline for the first workload.
 pub mod runtime {
     use super::*;
 
-    /// The five policies of the paper's evaluation, in Table 2 order.
-    pub fn policies() -> [SyncPolicy; 5] {
-        [
-            SyncPolicy::Passive,
-            SyncPolicy::Active,
-            SyncPolicy::ActiveIntra,
-            SyncPolicy::ExtraRounds,
-            SyncPolicy::hybrid(400.0),
+    /// The evaluated policies: the paper's five (Table 2 order)
+    /// followed by the drift-adaptive `dynamic-hybrid` extension.
+    /// `repro runtime --policy SPEC` restricts the run to one spec via
+    /// [`Config::policy`].
+    pub fn policies() -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::Passive,
+            PolicySpec::Active,
+            PolicySpec::ActiveIntra,
+            PolicySpec::ExtraRounds,
+            PolicySpec::hybrid(400.0),
+            PolicySpec::dynamic_hybrid(),
         ]
     }
 
@@ -37,10 +41,16 @@ pub mod runtime {
     /// Regenerates the {workload x policy} runtime/overhead table and
     /// the Passive slack histogram. Deterministic for a fixed
     /// `config.seed` regardless of `config.threads` (the runtime is a
-    /// single sequential event loop).
+    /// single sequential event loop). Policy labels are the
+    /// round-trippable [`PolicySpec`] strings, so any row's policy
+    /// column can be fed straight back to `repro runtime --policy`.
     pub fn run(config: &Config) -> Vec<Table> {
         let hw = HardwareConfig::ibm();
         let cap = max_merges(config);
+        let selected = match &config.policy {
+            Some(spec) => vec![spec.clone()],
+            None => policies(),
+        };
         let mut t = Table::new(
             "runtime_overhead",
             format!(
@@ -68,8 +78,11 @@ pub mod runtime {
         for (wi, w) in workloads::catalog().iter().enumerate() {
             let estimate = LogicalEstimate::for_workload(w, 1e-3, 1e-2);
             let schedule = ProgramSchedule::compile(w, &estimate, cap, config.seed);
-            for policy in policies() {
-                let report = execute(&schedule, &RuntimeConfig::new(&hw, policy, config.seed));
+            for policy in &selected {
+                let report = execute(
+                    &schedule,
+                    &RuntimeConfig::new(&hw, policy.clone(), config.seed),
+                );
                 t.push_row([
                     w.name.clone(),
                     policy.to_string(),
@@ -81,7 +94,7 @@ pub mod runtime {
                     format!("{:.0}", report.mean_slack_ns()),
                     report.fallbacks.to_string(),
                 ]);
-                if wi == 0 && policy == SyncPolicy::Passive {
+                if wi == 0 && *policy == PolicySpec::Passive {
                     let width = report.slack.bin_width_ns();
                     for (i, count) in report.slack.bins().iter().enumerate() {
                         hist.push_row([
@@ -112,7 +125,7 @@ mod tests {
     #[test]
     fn runtime_table_covers_all_workloads_and_policies() {
         let tables = runtime::run(&tiny_config());
-        assert_eq!(tables[0].rows.len(), 6 * 5);
+        assert_eq!(tables[0].rows.len(), 6 * 6);
         assert_eq!(tables[1].rows.len(), 16); // histogram bins
         let merges: u64 = tables[1]
             .rows
@@ -123,13 +136,29 @@ mod tests {
     }
 
     #[test]
+    fn runtime_policy_labels_round_trip() {
+        let tables = runtime::run(&tiny_config());
+        for row in &tables[0].rows {
+            let spec: PolicySpec = row[1]
+                .parse()
+                .unwrap_or_else(|e| panic!("policy label `{}` must round-trip: {e}", row[1]));
+            assert_eq!(spec.to_string(), row[1]);
+        }
+    }
+
+    #[test]
     fn runtime_table_reproduces_policy_ordering() {
         let tables = runtime::run(&tiny_config());
         // Group rows per workload: overhead % is column 5.
-        for chunk in tables[0].rows.chunks(5) {
+        for chunk in tables[0].rows.chunks(6) {
             let overhead: Vec<f64> = chunk.iter().map(|r| r[5].parse().unwrap()).collect();
-            let (passive, active, er, hybrid) =
-                (overhead[0], overhead[1], overhead[3], overhead[4]);
+            let (passive, active, er, hybrid, dynamic) = (
+                overhead[0],
+                overhead[1],
+                overhead[3],
+                overhead[4],
+                overhead[5],
+            );
             let workload = &chunk[0][0];
             assert!(
                 passive >= active,
@@ -143,7 +172,24 @@ mod tests {
                 active >= hybrid,
                 "{workload}: active {active} < hybrid {hybrid}"
             );
+            assert!(
+                hybrid >= dynamic,
+                "{workload}: hybrid {hybrid} < dynamic-hybrid {dynamic}"
+            );
         }
+    }
+
+    #[test]
+    fn runtime_honours_policy_override() {
+        let mut config = tiny_config();
+        config.policy = Some(PolicySpec::dynamic_hybrid());
+        let tables = runtime::run(&config);
+        assert_eq!(tables[0].rows.len(), 6); // one row per workload
+        for row in &tables[0].rows {
+            assert_eq!(row[1], PolicySpec::dynamic_hybrid().to_string());
+        }
+        // No Passive run selected: the histogram stays empty.
+        assert!(tables[1].rows.is_empty());
     }
 
     #[test]

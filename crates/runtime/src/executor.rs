@@ -3,15 +3,18 @@
 use crate::metrics::{ProgramReport, SlackHistogram};
 use crate::schedule::ProgramSchedule;
 use ftqc_noise::{HardwareConfig, TimingModel};
-use ftqc_sync::{Controller, CultivationModel, PatchId, SyncPolicy};
+use ftqc_sync::{Controller, CultivationModel, PatchId, PolicySpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Execution parameters for one program run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
-    /// Synchronization policy every merge is planned with.
-    pub policy: SyncPolicy,
+    /// Synchronization policy every merge is planned with — any
+    /// parseable [`PolicySpec`], including the adaptive
+    /// `dynamic-hybrid` (which plans from the controller's recent
+    /// slack window).
+    pub policy: PolicySpec,
     /// Cycle-time heterogeneity injected into the patches.
     pub timing: TimingModel,
     /// Factory restart model: after each merge the consumed factory
@@ -30,9 +33,13 @@ impl RuntimeConfig {
     /// The defaults used by the paper-style evaluation: `hardware`'s
     /// timing model, cultivation-driven factory restarts at
     /// `p = 1e-3`, and the given policy.
-    pub fn new(hardware: &HardwareConfig, policy: SyncPolicy, seed: u64) -> RuntimeConfig {
+    pub fn new(
+        hardware: &HardwareConfig,
+        policy: impl Into<PolicySpec>,
+        seed: u64,
+    ) -> RuntimeConfig {
         RuntimeConfig {
-            policy,
+            policy: policy.into(),
             timing: TimingModel::for_hardware(hardware),
             cultivation: Some(CultivationModel::for_error_rate(
                 1e-3,
@@ -89,11 +96,11 @@ pub fn execute(schedule: &ProgramSchedule, config: &RuntimeConfig) -> ProgramRep
         .map(|_| register(&mut ctl, &mut rng, &mut calibrated_ns, None))
         .collect();
 
-    let requested = config.policy;
+    let requested = config.policy.clone();
     let epsilon_bin = config.timing.base_cycle_ns / 8.0;
     let mut report = ProgramReport {
         workload: schedule.workload.clone(),
-        policy: requested,
+        policy: requested.clone(),
         merges: 0,
         total_ns: 0,
         sync_idle_ns: 0,
@@ -128,7 +135,7 @@ pub fn execute(schedule: &ProgramSchedule, config: &RuntimeConfig) -> ProgramRep
             ctl.set_cycle_ticks(id, (observed.round() as u32).max(1));
         }
         let sync = ctl
-            .synchronize_report(&pair, requested, schedule.pre_merge_rounds)
+            .synchronize_report(&pair, &requested, schedule.pre_merge_rounds)
             .expect("live distinct patches always plan");
         report.merges += 1;
         report.sync_idle_ns += sync.planned_idle_ticks;
@@ -140,7 +147,9 @@ pub fn execute(schedule: &ProgramSchedule, config: &RuntimeConfig) -> ProgramRep
                 // A genuine Hybrid plan always runs z >= 1 extra rounds;
                 // the slowest patch's no-op plan carries the requested
                 // policy with zero rounds and is not "applied".
-                SyncPolicy::Hybrid { .. } if plan.extra_rounds > 0 => {
+                PolicySpec::Hybrid { .. } | PolicySpec::DynamicHybrid { .. }
+                    if plan.extra_rounds > 0 =>
+                {
                     report.hybrid_applied += 1;
                     report.max_hybrid_residual_ns =
                         report.max_hybrid_residual_ns.max(plan.total_idle_ns());
@@ -184,14 +193,14 @@ mod tests {
     #[test]
     fn execute_is_deterministic() {
         let s = schedule(150);
-        let cfg = RuntimeConfig::new(&HardwareConfig::ibm(), SyncPolicy::Active, 5);
+        let cfg = RuntimeConfig::new(&HardwareConfig::ibm(), PolicySpec::Active, 5);
         assert_eq!(execute(&s, &cfg), execute(&s, &cfg));
     }
 
     #[test]
     fn runtime_covers_all_merges() {
         let s = schedule(150);
-        let cfg = RuntimeConfig::new(&HardwareConfig::ibm(), SyncPolicy::Passive, 5);
+        let cfg = RuntimeConfig::new(&HardwareConfig::ibm(), PolicySpec::Passive, 5);
         let r = execute(&s, &cfg);
         assert_eq!(r.merges, 150);
         assert_eq!(r.slack.count(), 150);
@@ -222,7 +231,7 @@ mod tests {
                 })
                 .collect(),
         };
-        let mut cfg = RuntimeConfig::new(&HardwareConfig::ibm(), SyncPolicy::Passive, 5);
+        let mut cfg = RuntimeConfig::new(&HardwareConfig::ibm(), PolicySpec::Passive, 5);
         cfg.timing = TimingModel::ideal(1900.0);
         cfg.cultivation = None;
         let r = execute(&s, &cfg);
@@ -238,8 +247,8 @@ mod tests {
     fn passive_and_active_realize_equal_runtime() {
         let s = schedule(200);
         let hw = HardwareConfig::ibm();
-        let passive = execute(&s, &RuntimeConfig::new(&hw, SyncPolicy::Passive, 5));
-        let active = execute(&s, &RuntimeConfig::new(&hw, SyncPolicy::Active, 5));
+        let passive = execute(&s, &RuntimeConfig::new(&hw, PolicySpec::Passive, 5));
+        let active = execute(&s, &RuntimeConfig::new(&hw, PolicySpec::Active, 5));
         // Same slack, same wall time: the policies differ in *where*
         // the idle sits (and so in error rate), not in how much.
         assert_eq!(passive.total_ns, active.total_ns);
@@ -249,7 +258,7 @@ mod tests {
     #[test]
     fn hybrid_respects_its_slack_bound() {
         let s = schedule(200);
-        let cfg = RuntimeConfig::new(&HardwareConfig::ibm(), SyncPolicy::hybrid(400.0), 5);
+        let cfg = RuntimeConfig::new(&HardwareConfig::ibm(), PolicySpec::hybrid(400.0), 5);
         let r = execute(&s, &cfg);
         assert!(r.hybrid_applied > 0, "heterogeneous cycles enable Hybrid");
         assert!(
@@ -260,11 +269,61 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_hybrid_never_idles_more_than_fixed_hybrid() {
+        let s = schedule(200);
+        let hw = HardwareConfig::ibm();
+        let fixed = execute(&s, &RuntimeConfig::new(&hw, PolicySpec::hybrid(400.0), 5));
+        let dynamic = execute(
+            &s,
+            &RuntimeConfig::new(&hw, PolicySpec::dynamic_hybrid(), 5),
+        );
+        assert!(dynamic.hybrid_applied > 0);
+        assert!(
+            dynamic.sync_idle_ns <= fixed.sync_idle_ns,
+            "dynamic {} > fixed {}",
+            dynamic.sync_idle_ns,
+            fixed.sync_idle_ns
+        );
+        assert!(
+            dynamic.overhead_percent() <= fixed.overhead_percent(),
+            "dynamic {} > fixed {}",
+            dynamic.overhead_percent(),
+            fixed.overhead_percent()
+        );
+        // The adaptive tolerance never exceeds its cap.
+        assert!(dynamic.max_hybrid_residual_ns < 400.0);
+    }
+
+    #[test]
+    fn empty_schedule_reports_zeros_not_nan() {
+        // Regression: an empty merge stream used to make the percentage
+        // and mean-slack denominators zero; both must report 0.0, not
+        // NaN.
+        let s = ProgramSchedule {
+            workload: "empty".into(),
+            compute_patches: 1,
+            factories: 1,
+            pre_merge_rounds: 8,
+            merge_window_rounds: 7,
+            scheduled_cycles: 0,
+            total_merges: 0,
+            events: Vec::new(),
+        };
+        let cfg = RuntimeConfig::new(&HardwareConfig::ibm(), PolicySpec::Passive, 5);
+        let r = execute(&s, &cfg);
+        assert_eq!(r.merges, 0);
+        assert_eq!(r.total_ns, 0);
+        assert_eq!(r.overhead_percent(), 0.0);
+        assert_eq!(r.mean_slack_ns(), 0.0);
+        assert!(!r.overhead_percent().is_nan() && !r.mean_slack_ns().is_nan());
+    }
+
+    #[test]
     fn extra_rounds_converts_idle_into_rounds() {
         let s = schedule(200);
         let hw = HardwareConfig::ibm();
-        let active = execute(&s, &RuntimeConfig::new(&hw, SyncPolicy::Active, 5));
-        let er = execute(&s, &RuntimeConfig::new(&hw, SyncPolicy::ExtraRounds, 5));
+        let active = execute(&s, &RuntimeConfig::new(&hw, PolicySpec::Active, 5));
+        let er = execute(&s, &RuntimeConfig::new(&hw, PolicySpec::ExtraRounds, 5));
         assert!(er.extra_rounds > 0);
         assert!(er.sync_idle_ns <= active.sync_idle_ns);
     }

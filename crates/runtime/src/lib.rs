@@ -19,8 +19,9 @@
 //!   `Controller`: patches register at calibrated cycle times
 //!   ([`TimingModel`](ftqc_noise::TimingModel)), every merge re-times
 //!   its patches with per-round jitter/drift, plans the
-//!   synchronization under a configurable
-//!   [`SyncPolicy`](ftqc_sync::SyncPolicy), and each consumed factory
+//!   synchronization under any configurable
+//!   [`PolicySpec`](ftqc_sync::PolicySpec) (or custom
+//!   [`SyncStrategy`](ftqc_sync::SyncStrategy)), and each consumed factory
 //!   restarts with a cultivation-drawn phase offset
 //!   ([`CultivationModel`](ftqc_sync::CultivationModel)).
 //! * [`ProgramReport`] accumulates the program-level metrics: total
@@ -36,17 +37,15 @@
 //! use ftqc_estimator::{workloads, LogicalEstimate};
 //! use ftqc_noise::HardwareConfig;
 //! use ftqc_runtime::{execute, ProgramSchedule, RuntimeConfig};
-//! use ftqc_sync::SyncPolicy;
+//! use ftqc_sync::PolicySpec;
 //!
 //! let workload = workloads::qft(20);
 //! let estimate = LogicalEstimate::for_workload(&workload, 1e-3, 1e-2);
 //! let schedule = ProgramSchedule::compile(&workload, &estimate, 200, 2025);
 //! let hw = HardwareConfig::ibm();
-//! let passive = execute(&schedule, &RuntimeConfig::new(&hw, SyncPolicy::Passive, 2025));
-//! let hybrid = execute(
-//!     &schedule,
-//!     &RuntimeConfig::new(&hw, SyncPolicy::hybrid(400.0), 2025),
-//! );
+//! let passive = execute(&schedule, &RuntimeConfig::new(&hw, PolicySpec::Passive, 2025));
+//! let hybrid: PolicySpec = "hybrid:eps=400,max=5".parse().unwrap();
+//! let hybrid = execute(&schedule, &RuntimeConfig::new(&hw, hybrid, 2025));
 //! assert!(hybrid.overhead_percent() <= passive.overhead_percent());
 //! ```
 

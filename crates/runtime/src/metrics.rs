@@ -1,6 +1,6 @@
 //! Program-level metrics accumulated by the runtime.
 
-use ftqc_sync::SyncPolicy;
+use ftqc_sync::PolicySpec;
 
 /// A fixed-bin histogram of the slack absorbed per merge (the
 /// program-level analogue of the paper's Fig. 4a distributions).
@@ -90,8 +90,8 @@ impl SlackHistogram {
 pub struct ProgramReport {
     /// Workload name the schedule was compiled from.
     pub workload: String,
-    /// Policy the run was executed under.
-    pub policy: SyncPolicy,
+    /// Policy the run was executed under (the requested spec).
+    pub policy: PolicySpec,
     /// Merge events executed.
     pub merges: u64,
     /// Total program runtime in nanoseconds (1 controller tick = 1 ns).
@@ -165,7 +165,7 @@ mod tests {
     fn overhead_percent_handles_zero_runtime() {
         let report = ProgramReport {
             workload: "empty".into(),
-            policy: SyncPolicy::Passive,
+            policy: PolicySpec::Passive,
             merges: 0,
             total_ns: 0,
             sync_idle_ns: 0,

@@ -3,7 +3,7 @@
 use crate::geometry::{Ancilla, Lattice, StabKind};
 use ftqc_circuit::{DetectorBasis, MeasRef, Op, Qubit, Schedule};
 use ftqc_noise::HardwareConfig;
-use ftqc_sync::{SyncPlan, SyncPolicy};
+use ftqc_sync::{PolicySpec, SyncPlan};
 use std::collections::HashMap;
 
 /// Observable index of `X_P` (resp. `Z_P` for X-basis surgery).
@@ -74,7 +74,7 @@ impl LatticeSurgeryConfig {
             hardware: hardware.clone(),
             pre_rounds: distance + 1,
             merged_rounds: distance + 1,
-            plan: SyncPlan::noop(SyncPolicy::Passive, distance + 1),
+            plan: SyncPlan::noop(PolicySpec::Passive, distance + 1),
             lagging_round_stretch_ns: 0.0,
         }
     }
@@ -582,7 +582,12 @@ mod tests {
     use super::*;
     use ftqc_noise::CircuitNoiseModel;
     use ftqc_sim::{verify_deterministic, DetectorErrorModel};
-    use ftqc_sync::plan_sync;
+    use ftqc_sync::SyncContext;
+
+    fn plan(spec: PolicySpec, tau: f64, tp: f64, tpp: f64, rounds: u32) -> SyncPlan {
+        spec.plan(&SyncContext::new(tau, tp, tpp, rounds).unwrap())
+            .unwrap()
+    }
 
     fn hw() -> HardwareConfig {
         HardwareConfig::ibm()
@@ -623,12 +628,12 @@ mod tests {
     fn surgery_with_plans_stays_deterministic() {
         let t = hw().cycle_time_ns();
         for policy in [
-            SyncPolicy::Passive,
-            SyncPolicy::Active,
-            SyncPolicy::ActiveIntra,
+            PolicySpec::Passive,
+            PolicySpec::Active,
+            PolicySpec::ActiveIntra,
         ] {
             let mut cfg = LatticeSurgeryConfig::new(3, &hw());
-            cfg.plan = plan_sync(policy, 700.0, t, t, 4).unwrap();
+            cfg.plan = plan(policy.clone(), 700.0, t, t, 4);
             let c = CircuitNoiseModel::ideal().apply(&cfg.build());
             verify_deterministic(&c, 6).unwrap_or_else(|e| panic!("{policy}: {e}"));
         }
@@ -637,7 +642,7 @@ mod tests {
     #[test]
     fn surgery_hybrid_plan_adds_rounds() {
         let mut cfg = LatticeSurgeryConfig::new(3, &hw());
-        cfg.plan = plan_sync(SyncPolicy::hybrid(400.0), 1000.0, 1000.0, 1325.0, 4).unwrap();
+        cfg.plan = plan(PolicySpec::hybrid(400.0), 1000.0, 1000.0, 1325.0, 4);
         cfg.lagging_round_stretch_ns = 325.0;
         let c = CircuitNoiseModel::ideal().apply(&cfg.build());
         c.validate().unwrap();
@@ -655,9 +660,9 @@ mod tests {
     fn idle_slack_produces_idle_channels() {
         let t = hw().cycle_time_ns();
         let mut passive = LatticeSurgeryConfig::new(3, &hw());
-        passive.plan = plan_sync(SyncPolicy::Passive, 1000.0, t, t, 4).unwrap();
+        passive.plan = plan(PolicySpec::Passive, 1000.0, t, t, 4);
         let mut synced = LatticeSurgeryConfig::new(3, &hw());
-        synced.plan = SyncPlan::noop(SyncPolicy::Passive, 4);
+        synced.plan = SyncPlan::noop(PolicySpec::Passive, 4);
         let noisy_passive = CircuitNoiseModel::standard(1e-3, &hw()).apply(&passive.build());
         let noisy_synced = CircuitNoiseModel::standard(1e-3, &hw()).apply(&synced.build());
         assert!(

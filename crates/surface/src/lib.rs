@@ -24,12 +24,13 @@
 //! ```
 //! use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
 //! use ftqc_surface::{LatticeSurgeryConfig, LsBasis};
-//! use ftqc_sync::{plan_sync, SyncPolicy};
+//! use ftqc_sync::{PolicySpec, SyncContext};
 //!
 //! let hw = HardwareConfig::ibm();
 //! let t = hw.cycle_time_ns();
 //! let mut cfg = LatticeSurgeryConfig::new(3, &hw);
-//! cfg.plan = plan_sync(SyncPolicy::Active, 500.0, t, t, 4).unwrap();
+//! let ctx = SyncContext::new(500.0, t, t, 4).unwrap();
+//! cfg.plan = PolicySpec::Active.plan(&ctx).unwrap();
 //! let schedule = cfg.build();
 //! let circuit = CircuitNoiseModel::standard(1e-3, &hw).apply(&schedule);
 //! assert_eq!(circuit.num_observables(), 3); // X_P, X_P', X_P X_P'

@@ -9,7 +9,7 @@
 
 use ftqc::noise::HardwareConfig;
 use ftqc::sync::{
-    qldpc_cycle_time_ns, qldpc_slack, Controller, CultivationModel, SyncEngine, SyncPolicy,
+    qldpc_cycle_time_ns, qldpc_slack, Controller, CultivationModel, PolicySpec, SyncEngine,
 };
 
 fn main() {
@@ -44,7 +44,7 @@ fn main() {
     let t_state = engine.register_patch(t_sc as u32);
     engine.advance(12_743); // run freely for a while
     let outcome = engine
-        .synchronize(&[compute, memory, t_state], SyncPolicy::hybrid(400.0), 12)
+        .synchronize(&[compute, memory, t_state], &PolicySpec::hybrid(400.0), 12)
         .expect("plannable");
     println!(
         "\nsynchronization plans (slowest patch: {:?}):",
@@ -67,7 +67,7 @@ fn main() {
     let b = ctl.add_patch(t_qldpc as u32, 1200);
     let c = ctl.add_patch(t_sc as u32, 0);
     let merge_tick = ctl
-        .synchronize(&[a, b, c], SyncPolicy::hybrid(400.0), 12)
+        .synchronize(&[a, b, c], &PolicySpec::hybrid(400.0), 12)
         .expect("plannable");
     println!("\ncontroller: all patches aligned at tick {merge_tick}");
     for id in [a, b, c] {

@@ -13,20 +13,25 @@
 use ftqc::estimator::{workloads, LogicalEstimate};
 use ftqc::noise::HardwareConfig;
 use ftqc::runtime::{execute, ProgramSchedule, RuntimeConfig};
-use ftqc::sync::SyncPolicy;
+use ftqc::sync::PolicySpec;
 
 fn main() {
     let hw = HardwareConfig::ibm();
     let seed = 2025;
-    let policies = [
-        SyncPolicy::Passive,
-        SyncPolicy::Active,
-        SyncPolicy::ActiveIntra,
-        SyncPolicy::ExtraRounds,
-        SyncPolicy::hybrid(400.0),
-    ];
+    // The same parseable spec strings `repro runtime --policy` takes.
+    let policies: Vec<PolicySpec> = [
+        "passive",
+        "active",
+        "active-intra",
+        "extra-rounds",
+        "hybrid:eps=400,max=5",
+        "dynamic-hybrid",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("valid policy spec"))
+    .collect();
     println!(
-        "{:<14} {:<18} {:>8} {:>12} {:>12} {:>10} {:>8}",
+        "{:<14} {:<52} {:>8} {:>12} {:>12} {:>10} {:>8}",
         "workload", "policy", "merges", "runtime(ms)", "idle(us)", "overhead%", "extras"
     );
     for workload in workloads::catalog() {
@@ -34,10 +39,10 @@ fn main() {
         // 2000 merges keeps the demo under a second per workload; pass
         // u64::MAX to execute the full program.
         let schedule = ProgramSchedule::compile(&workload, &estimate, 2_000, seed);
-        for policy in policies {
-            let report = execute(&schedule, &RuntimeConfig::new(&hw, policy, seed));
+        for policy in &policies {
+            let report = execute(&schedule, &RuntimeConfig::new(&hw, policy.clone(), seed));
             println!(
-                "{:<14} {:<18} {:>8} {:>12.3} {:>12.1} {:>10.3} {:>8}",
+                "{:<14} {:<52} {:>8} {:>12.3} {:>12.1} {:>10.3} {:>8}",
                 report.workload,
                 policy.to_string(),
                 report.merges,

@@ -10,7 +10,7 @@ use ftqc::decoder::DecoderKind;
 use ftqc::experiments::EvalPipeline;
 use ftqc::noise::HardwareConfig;
 use ftqc::surface::{LatticeSurgeryConfig, OBS_MERGED, OBS_P};
-use ftqc::sync::{plan_sync, SyncPolicy};
+use ftqc::sync::{PolicySpec, SyncContext};
 
 fn main() {
     let hw = HardwareConfig::google();
@@ -21,10 +21,11 @@ fn main() {
         "Lattice Surgery at d = {d} on a {}-like system, slack {tau} ns\n",
         hw.name
     );
-    for policy in [SyncPolicy::Passive, SyncPolicy::Active] {
+    for policy in [PolicySpec::Passive, PolicySpec::Active] {
         let t = hw.cycle_time_ns();
         let mut cfg = LatticeSurgeryConfig::new(d, &hw);
-        cfg.plan = plan_sync(policy, tau, t, t, d + 1).expect("plannable");
+        let ctx = SyncContext::new(tau, t, t, d + 1).expect("valid context");
+        cfg.plan = policy.plan(&ctx).expect("plannable");
         let ler = EvalPipeline::lattice_surgery(cfg)
             .decoder(DecoderKind::UnionFind)
             .shots(shots)

@@ -35,13 +35,14 @@
 //! use ftqc::experiments::EvalPipeline;
 //! use ftqc::noise::HardwareConfig;
 //! use ftqc::surface::LatticeSurgeryConfig;
-//! use ftqc::sync::{plan_sync, SyncPolicy};
+//! use ftqc::sync::{PolicySpec, SyncContext};
 //!
 //! // Two d=3 patches, desynchronized by 500 ns, Active policy.
 //! let hw = HardwareConfig::ibm();
 //! let t = hw.cycle_time_ns();
 //! let mut cfg = LatticeSurgeryConfig::new(3, &hw);
-//! cfg.plan = plan_sync(SyncPolicy::Active, 500.0, t, t, 4).unwrap();
+//! let ctx = SyncContext::new(500.0, t, t, 4).unwrap();
+//! cfg.plan = PolicySpec::Active.plan(&ctx).unwrap();
 //! let ler = EvalPipeline::lattice_surgery(cfg)
 //!     .decoder(DecoderKind::UnionFind)
 //!     .shots(2_000)
@@ -61,14 +62,15 @@
 //! use ftqc::estimator::{workloads, LogicalEstimate};
 //! use ftqc::noise::HardwareConfig;
 //! use ftqc::runtime::{execute, ProgramSchedule, RuntimeConfig};
-//! use ftqc::sync::SyncPolicy;
+//! use ftqc::sync::PolicySpec;
 //!
 //! let workload = workloads::qft(20);
 //! let estimate = LogicalEstimate::for_workload(&workload, 1e-3, 1e-2);
 //! let schedule = ProgramSchedule::compile(&workload, &estimate, 200, 2025);
 //! let hw = HardwareConfig::ibm();
-//! for policy in [SyncPolicy::Passive, SyncPolicy::hybrid(400.0)] {
-//!     let report = execute(&schedule, &RuntimeConfig::new(&hw, policy, 2025));
+//! for policy in ["passive", "hybrid:eps=400,max=5", "dynamic-hybrid"] {
+//!     let policy: PolicySpec = policy.parse().unwrap();
+//!     let report = execute(&schedule, &RuntimeConfig::new(&hw, policy.clone(), 2025));
 //!     println!(
 //!         "{policy}: {:.2} ms, {:.2}% sync idle",
 //!         report.total_ns as f64 / 1e6,

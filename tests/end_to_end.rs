@@ -6,24 +6,26 @@ use ftqc::experiments::EvalPipeline;
 use ftqc::noise::{CircuitNoiseModel, HardwareConfig};
 use ftqc::sim::{verify_deterministic, DetectorErrorModel};
 use ftqc::surface::{LatticeSurgeryConfig, LsBasis, MemoryConfig, OBS_MERGED};
-use ftqc::sync::{plan_sync, Controller, SyncPolicy};
+use ftqc::sync::{Controller, PolicySpec, SyncContext};
 
 #[test]
 fn every_policy_yields_valid_deterministic_circuits() {
     let hw = HardwareConfig::ibm();
     let t = hw.cycle_time_ns();
-    let policies: Vec<(SyncPolicy, f64, f64)> = vec![
-        (SyncPolicy::Passive, t, t),
-        (SyncPolicy::Active, t, t),
-        (SyncPolicy::ActiveIntra, t, t),
-        (SyncPolicy::ExtraRounds, 1000.0, 1150.0),
-        (SyncPolicy::hybrid(400.0), 1000.0, 1325.0),
+    let policies: Vec<(PolicySpec, f64, f64)> = vec![
+        (PolicySpec::Passive, t, t),
+        (PolicySpec::Active, t, t),
+        (PolicySpec::ActiveIntra, t, t),
+        (PolicySpec::ExtraRounds, 1000.0, 1150.0),
+        (PolicySpec::hybrid(400.0), 1000.0, 1325.0),
+        (PolicySpec::dynamic_hybrid(), 1000.0, 1325.0),
     ];
     for (policy, tp, tpp) in policies {
         for basis in [LsBasis::Z, LsBasis::X] {
             let mut cfg = LatticeSurgeryConfig::new(3, &hw);
             cfg.basis = basis;
-            cfg.plan = plan_sync(policy, 800.0, tp, tpp, 4).expect("plannable");
+            let ctx = SyncContext::new(800.0, tp, tpp, 4).expect("valid context");
+            cfg.plan = policy.plan(&ctx).expect("plannable");
             cfg.lagging_round_stretch_ns = (tpp - tp).max(0.0);
             let circuit = CircuitNoiseModel::ideal().apply(&cfg.build());
             circuit.validate().expect("structurally valid");
@@ -37,14 +39,15 @@ fn every_policy_yields_valid_deterministic_circuits() {
 fn controller_schedule_matches_circuit_plan_totals() {
     // The discrete-event controller and the circuit generator must
     // agree on how much time a plan inserts.
-    let plan = plan_sync(SyncPolicy::hybrid(400.0), 1000.0, 1000.0, 1325.0, 8).unwrap();
+    let spec = PolicySpec::hybrid(400.0);
+    let plan = spec
+        .plan(&SyncContext::new(1000.0, 1000.0, 1325.0, 8).unwrap())
+        .unwrap();
     assert_eq!(plan.extra_rounds, 4);
     let mut ctl = Controller::new();
     let a = ctl.add_patch(1000, 0);
     let b = ctl.add_patch(1325, 325);
-    let tick = ctl
-        .synchronize(&[a, b], SyncPolicy::hybrid(400.0), 8)
-        .unwrap();
+    let tick = ctl.synchronize(&[a, b], &spec, 8).unwrap();
     assert_eq!(ctl.status(a).unwrap().cycle_end_tick, tick);
     assert_eq!(ctl.status(b).unwrap().cycle_end_tick, tick);
 }
@@ -104,9 +107,11 @@ fn slack_hurts_and_sync_policies_recover() {
     let hw = HardwareConfig::google();
     let t = hw.cycle_time_ns();
     let shots = 30_000;
-    let run = |policy: SyncPolicy, tau: f64, seed: u64| {
+    let run = |policy: PolicySpec, tau: f64, seed: u64| {
         let mut cfg = LatticeSurgeryConfig::new(3, &hw);
-        cfg.plan = plan_sync(policy, tau, t, t, 4).unwrap();
+        cfg.plan = policy
+            .plan(&SyncContext::new(tau, t, t, 4).unwrap())
+            .unwrap();
         EvalPipeline::lattice_surgery(cfg)
             .decoder(DecoderKind::UnionFind)
             .shots(shots)
@@ -116,8 +121,8 @@ fn slack_hurts_and_sync_policies_recover() {
             .run()[OBS_MERGED as usize]
             .rate()
     };
-    let ideal = run(SyncPolicy::Passive, 0.0, 1);
-    let passive = run(SyncPolicy::Passive, 1000.0, 1);
+    let ideal = run(PolicySpec::Passive, 0.0, 1);
+    let passive = run(PolicySpec::Passive, 1000.0, 1);
     assert!(
         passive > ideal,
         "slack must cost fidelity: ideal {ideal} vs passive {passive}"

@@ -1,7 +1,7 @@
 //! Property-based tests over the core invariants.
 
 use ftqc::pauli::{Pauli, PauliString};
-use ftqc::sync::{plan_sync, solve_extra_rounds, solve_hybrid, SyncPolicy};
+use ftqc::sync::{solve_extra_rounds, solve_hybrid, PolicySpec, SlackWindow, SyncContext};
 use proptest::prelude::*;
 
 fn arb_pauli() -> impl Strategy<Value = Pauli> {
@@ -10,6 +10,27 @@ fn arb_pauli() -> impl Strategy<Value = Pauli> {
         Just(Pauli::X),
         Just(Pauli::Y),
         Just(Pauli::Z)
+    ]
+}
+
+/// Every built-in policy spec, parameterized from the generated values.
+fn builtin_specs(eps: f64, floor_frac: f64, q: f64, max: u32) -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::Passive,
+        PolicySpec::Active,
+        PolicySpec::ActiveIntra,
+        PolicySpec::ExtraRounds,
+        PolicySpec::Hybrid {
+            epsilon_ns: eps,
+            max_extra_rounds: max,
+        },
+        PolicySpec::DynamicHybrid {
+            max_epsilon_ns: eps,
+            floor_ns: eps * floor_frac,
+            quantile: q,
+            max_extra_rounds: max,
+            deep_rounds: max + 20,
+        },
     ]
 }
 
@@ -81,14 +102,88 @@ proptest! {
         }
     }
 
+    /// `PolicySpec` strings are a faithful wire format: Display then
+    /// FromStr recovers every built-in spec exactly, whatever its
+    /// parameters.
+    #[test]
+    fn policy_specs_round_trip_through_strings(
+        eps in 1.0f64..2000.0,
+        floor_frac in 0.01f64..1.0,
+        q in 0.0f64..1.0,
+        max in 1u32..30,
+    ) {
+        for spec in builtin_specs(eps, floor_frac, q, max) {
+            let text = spec.to_string();
+            let parsed: PolicySpec = text.parse().unwrap_or_else(|e| {
+                panic!("`{text}` failed to parse back: {e}")
+            });
+            prop_assert_eq!(&parsed, &spec);
+            // A second round trip is the identity on the string, too.
+            prop_assert_eq!(parsed.to_string(), text);
+        }
+    }
+
+    /// Every built-in strategy conserves slack: inserted idle plus the
+    /// slack eliminated through extra rounds accounts for the full
+    /// wrapped slack. For extra-round plans the eliminated share is
+    /// pinned down by the alignment condition of Eq. (1)/(2):
+    /// `m*T_P + tau_w + idle` lands on a lagging-cycle boundary.
+    #[test]
+    fn every_builtin_strategy_conserves_slack(
+        tau in 0.0f64..2500.0,
+        tp in 500.0f64..2000.0,
+        dt in 25.0f64..800.0,
+        rounds in 1u32..20,
+        window in proptest::collection::vec(0.0f64..2000.0, 0..12),
+        eps in 50.0f64..500.0,
+        floor_frac in 0.01f64..1.0,
+        q in 0.0f64..1.0,
+    ) {
+        let tpp = tp + dt;
+        let mut observed = SlackWindow::default();
+        for s in &window {
+            observed.record(*s);
+        }
+        let ctx = SyncContext::new(tau, tp, tpp, rounds)
+            .unwrap()
+            .with_observed(observed);
+        let tau_w = ctx.wrapped_tau_ns();
+        for spec in builtin_specs(eps, floor_frac, q, 12) {
+            let Ok(plan) = spec.plan(&ctx) else {
+                continue; // infeasible pair for this strategy
+            };
+            let idle = plan.total_idle_ns();
+            prop_assert!(idle >= -1e-9, "{spec}: negative idle {idle}");
+            let round_compensation_ns = if plan.extra_rounds > 0 {
+                // The plan may only claim slack was eliminated by
+                // rounds if the Eq. (1)/(2) alignment actually holds.
+                let elapsed = plan.extra_rounds as f64 * tp + tau_w + idle;
+                let rem = elapsed % tpp;
+                prop_assert!(
+                    rem.min(tpp - rem) < 5e-6,
+                    "{spec}: m={} does not align (remainder {rem})",
+                    plan.extra_rounds
+                );
+                tau_w - idle
+            } else {
+                0.0
+            };
+            prop_assert!(
+                (idle + round_compensation_ns - tau_w).abs() < 1e-6,
+                "{spec}: idle {idle} + rounds {round_compensation_ns} != tau {tau_w}"
+            );
+        }
+    }
+
     #[test]
     fn plans_conserve_the_slack(
         tau in 0.0f64..1800.0,
         rounds in 1u32..20,
     ) {
         let t = 1900.0;
-        for policy in [SyncPolicy::Passive, SyncPolicy::Active, SyncPolicy::ActiveIntra] {
-            let plan = plan_sync(policy, tau, t, t, rounds).unwrap();
+        let ctx = SyncContext::new(tau, t, t, rounds).unwrap();
+        for policy in [PolicySpec::Passive, PolicySpec::Active, PolicySpec::ActiveIntra] {
+            let plan = policy.plan(&ctx).unwrap();
             // Equal cycle times: every idle-based policy inserts exactly
             // tau (mod wrap) of idle in total.
             let expect = tau % t;
@@ -103,13 +198,10 @@ proptest! {
         tau in 0.0f64..1300.0,
         eps in 100.0f64..500.0,
     ) {
-        if let Ok(plan) = plan_sync(
-            SyncPolicy::Hybrid { epsilon_ns: eps, max_extra_rounds: 12 },
-            tau, 1000.0, 1325.0, 8,
-        ) {
-            if plan.policy != SyncPolicy::Active {
-                prop_assert!(plan.total_idle_ns() < eps);
-            }
+        let ctx = SyncContext::new(tau, 1000.0, 1325.0, 8).unwrap();
+        let spec = PolicySpec::Hybrid { epsilon_ns: eps, max_extra_rounds: 12 };
+        if let Ok(plan) = spec.plan(&ctx) {
+            prop_assert!(plan.total_idle_ns() < eps);
         }
     }
 
@@ -121,15 +213,17 @@ proptest! {
         rounds in 1u32..20,
     ) {
         let tpp = tp + dt;
-        let passive = plan_sync(SyncPolicy::Passive, tau, tp, tpp, rounds).unwrap();
+        let ctx = SyncContext::new(tau, tp, tpp, rounds).unwrap();
+        let passive = PolicySpec::Passive.plan(&ctx).unwrap();
         let policies = [
-            SyncPolicy::Active,
-            SyncPolicy::ActiveIntra,
-            SyncPolicy::ExtraRounds,
-            SyncPolicy::Hybrid { epsilon_ns: 400.0, max_extra_rounds: 12 },
+            PolicySpec::Active,
+            PolicySpec::ActiveIntra,
+            PolicySpec::ExtraRounds,
+            PolicySpec::Hybrid { epsilon_ns: 400.0, max_extra_rounds: 12 },
+            PolicySpec::dynamic_hybrid(),
         ];
         for policy in policies {
-            let Ok(plan) = plan_sync(policy, tau, tp, tpp, rounds) else {
+            let Ok(plan) = policy.plan(&ctx) else {
                 continue; // infeasible pair for this policy
             };
             // Dead time right before the merge is monotonically no
@@ -143,9 +237,12 @@ proptest! {
             // ...and so is the total inserted idle, except that a
             // Hybrid plan trades against its epsilon bound instead
             // (its residual can exceed a *small* tau but never eps).
-            let bound = match plan.policy {
-                SyncPolicy::Hybrid { epsilon_ns, .. } => {
-                    passive.total_idle_ns().max(epsilon_ns)
+            let bound = match &plan.policy {
+                PolicySpec::Hybrid { epsilon_ns, .. } => {
+                    passive.total_idle_ns().max(*epsilon_ns)
+                }
+                PolicySpec::DynamicHybrid { max_epsilon_ns, .. } => {
+                    passive.total_idle_ns().max(*max_epsilon_ns)
                 }
                 _ => passive.total_idle_ns(),
             };
@@ -165,15 +262,16 @@ proptest! {
         rounds in 1u32..20,
     ) {
         let tpp = tp + dt;
-        if let Ok(plan) = plan_sync(SyncPolicy::ExtraRounds, tau, tp, tpp, rounds) {
-            prop_assert!(plan.policy == SyncPolicy::ExtraRounds);
+        let ctx = SyncContext::new(tau, tp, tpp, rounds).unwrap();
+        if let Ok(plan) = PolicySpec::ExtraRounds.plan(&ctx) {
+            prop_assert!(plan.policy == PolicySpec::ExtraRounds);
             prop_assert_eq!(plan.total_idle_ns(), 0.0);
             prop_assert_eq!(
                 plan.pre_round_idle_ns.len(),
                 (rounds + plan.extra_rounds) as usize
             );
             // The chosen round count satisfies Eq. (1) for the wrapped
-            // slack (plan_sync reduces tau modulo the lagging cycle).
+            // slack (the context reduces tau modulo the lagging cycle).
             let elapsed = plan.extra_rounds as f64 * tp + tau % tpp;
             let ratio = elapsed / tpp;
             prop_assert!((ratio - ratio.round()).abs() * tpp < 1e-5);
