@@ -1,7 +1,7 @@
 //! Microbenchmarks of the simulation and decoding substrates.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ftqc_decoder::{Decoder, DecodingGraph, MwpmDecoder, UfDecoder};
+use ftqc_decoder::{Decoder, DecoderScratch, DecodingGraph, MwpmDecoder, UfDecoder};
 use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
 use ftqc_pauli::Tableau;
 use ftqc_sim::{sample_batch, DetectorErrorModel};
@@ -47,12 +47,33 @@ fn bench_substrates(c: &mut Criterion) {
                 .fold(0u32, |a, m| a ^ m)
         })
     });
+    g.bench_function("uf_decode_into_d5_256_shots", |b| {
+        // The zero-allocation hot path: one reused scratch.
+        let mut scratch = DecoderScratch::new();
+        let mut correction = 0u32;
+        b.iter(|| {
+            syndromes.iter().fold(0u32, |a, s| {
+                uf.decode_into(&mut scratch, s, &mut correction);
+                a ^ correction
+            })
+        })
+    });
     g.bench_function("mwpm_decode_d5_256_shots", |b| {
         b.iter(|| {
             syndromes
                 .iter()
                 .map(|s| mwpm.predict(s))
                 .fold(0u32, |a, m| a ^ m)
+        })
+    });
+    g.bench_function("mwpm_decode_into_d5_256_shots", |b| {
+        let mut scratch = DecoderScratch::new();
+        let mut correction = 0u32;
+        b.iter(|| {
+            syndromes.iter().fold(0u32, |a, s| {
+                mwpm.decode_into(&mut scratch, s, &mut correction);
+                a ^ correction
+            })
         })
     });
     g.bench_function("tableau_d5_memory_round", |b| {

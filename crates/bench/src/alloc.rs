@@ -1,0 +1,86 @@
+//! A counting global allocator: allocation discipline as a measurement.
+//!
+//! Install [`CountingAlloc`] as the global allocator of a binary or
+//! test target and every heap acquisition (`alloc`, `alloc_zeroed`,
+//! `realloc`) increments a process-wide counter readable through
+//! [`allocation_count`]. The decode hot loop's zero-allocation
+//! guarantees are asserted against this counter, and the `ftqc-bench`
+//! scenarios report `allocs_per_op` from it — a machine-independent
+//! regression signal (timings vary across hosts; allocation counts do
+//! not).
+//!
+//! ```ignore
+//! use ftqc_bench::alloc::{allocation_count, CountingAlloc};
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! let before = allocation_count();
+//! hot_loop();
+//! assert_eq!(allocation_count() - before, 0);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide allocation counter, shared by every [`CountingAlloc`]
+/// instance so library code can read it without holding a reference to
+/// the allocator static.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether a [`CountingAlloc`] has ever served an allocation — i.e.
+/// whether [`allocation_count`] is live or will read a frozen zero.
+static INSTALLED: AtomicU64 = AtomicU64::new(0);
+
+/// Heap acquisitions (alloc + alloc_zeroed + realloc) since process
+/// start. Monotonic; sample before and after a region and subtract.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// True when a [`CountingAlloc`] is installed as the global allocator
+/// (detected from the first counted allocation, which any Rust program
+/// performs long before user code runs).
+pub fn counting_enabled() -> bool {
+    INSTALLED.load(Ordering::Relaxed) != 0
+}
+
+/// The system allocator wrapped with an allocation counter; see the
+/// [module docs](self).
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// The allocator value to place in a `#[global_allocator]` static.
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        INSTALLED.store(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        INSTALLED.store(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

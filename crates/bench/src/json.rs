@@ -1,0 +1,531 @@
+//! The `BENCH_<scenario>.json` report format.
+//!
+//! Reports are flat and dependency-free by design (the build
+//! environment has no serde): [`BenchReport::to_json`] emits them,
+//! [`BenchReport::from_json`] parses them back through a minimal JSON
+//! reader, and `ftqc-bench compare` diffs two of them. Schema
+//! (`"schema": 1`):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "scenario": "decode-throughput",
+//!   "preset": "quick",
+//!   "results": [
+//!     {
+//!       "name": "uf/d3",
+//!       "median_ns_per_op": 1532.8,
+//!       "ops_per_sec": 652432.1,
+//!       "allocs_per_op": 0.0,
+//!       "samples": 7
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `median_ns_per_op` is the median across samples of (wall time /
+//! ops); `ops_per_sec` is derived from it; `allocs_per_op` is measured
+//! with the counting allocator (machine-independent); `samples` is the
+//! number of timed repetitions. Unknown keys are ignored on read, so
+//! the schema can grow additively.
+
+/// One measured operation of a scenario (e.g. one decoder at one
+/// distance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Stable row key, e.g. `"uf/d5"` — what `compare` joins on.
+    pub name: String,
+    /// Median nanoseconds per operation across samples.
+    pub median_ns_per_op: f64,
+    /// Operations per second (1e9 / `median_ns_per_op`).
+    pub ops_per_sec: f64,
+    /// Heap allocations per operation (0 when counting is disabled or
+    /// the path is allocation-free).
+    pub allocs_per_op: f64,
+    /// Timed repetitions the median was taken over.
+    pub samples: usize,
+}
+
+impl BenchResult {
+    /// A result named `name` measured at `median_ns_per_op` with
+    /// `allocs_per_op`, over `samples` repetitions.
+    pub fn new(
+        name: impl Into<String>,
+        median_ns_per_op: f64,
+        allocs_per_op: f64,
+        samples: usize,
+    ) -> BenchResult {
+        BenchResult {
+            name: name.into(),
+            ops_per_sec: if median_ns_per_op > 0.0 {
+                1e9 / median_ns_per_op
+            } else {
+                0.0
+            },
+            median_ns_per_op,
+            allocs_per_op,
+            samples,
+        }
+    }
+}
+
+/// A full scenario report — what one `BENCH_<scenario>.json` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Scenario name (also the file-name suffix).
+    pub scenario: String,
+    /// Preset the scenario ran under (`"quick"` / `"full"`).
+    pub preset: String,
+    /// ns/op of the fixed synthetic calibration loop on the measuring
+    /// host (0 = not measured). `compare` divides new medians by the
+    /// calibration ratio before applying its threshold, so a report
+    /// from a slower machine is judged against a proportionally
+    /// slower baseline instead of failing on hardware alone.
+    pub calibration_ns_per_op: f64,
+    /// Measured rows.
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchReport {
+    /// Serializes the report (stable key order, two-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"scenario\": {},\n", quote(&self.scenario)));
+        out.push_str(&format!("  \"preset\": {},\n", quote(&self.preset)));
+        if self.calibration_ns_per_op > 0.0 {
+            out.push_str(&format!(
+                "  \"calibration_ns_per_op\": {},\n",
+                fmt_f64(self.calibration_ns_per_op)
+            ));
+        }
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": {},\n", quote(&r.name)));
+            out.push_str(&format!(
+                "      \"median_ns_per_op\": {},\n",
+                fmt_f64(r.median_ns_per_op)
+            ));
+            out.push_str(&format!(
+                "      \"ops_per_sec\": {},\n",
+                fmt_f64(r.ops_per_sec)
+            ));
+            out.push_str(&format!(
+                "      \"allocs_per_op\": {},\n",
+                fmt_f64(r.allocs_per_op)
+            ));
+            out.push_str(&format!("      \"samples\": {}\n", r.samples));
+            out.push_str(if i + 1 == self.results.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously produced by
+    /// [`to_json`](BenchReport::to_json) (or any JSON matching the
+    /// schema; unknown keys are ignored).
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let value = Parser::new(text).parse()?;
+        let obj = value.as_object().ok_or("top level is not an object")?;
+        let scenario = obj
+            .get_str("scenario")
+            .ok_or("missing \"scenario\"")?
+            .to_string();
+        let preset = obj.get_str("preset").unwrap_or("").to_string();
+        let calibration_ns_per_op = obj.get_f64("calibration_ns_per_op").unwrap_or(0.0);
+        let rows = obj
+            .field("results")
+            .and_then(Value::as_array)
+            .ok_or("missing \"results\" array")?;
+        let mut results = Vec::with_capacity(rows.len());
+        for row in rows {
+            let row = row.as_object().ok_or("result row is not an object")?;
+            let name = row.get_str("name").ok_or("row missing \"name\"")?;
+            let median = row
+                .get_f64("median_ns_per_op")
+                .ok_or("row missing \"median_ns_per_op\"")?;
+            results.push(BenchResult {
+                name: name.to_string(),
+                median_ns_per_op: median,
+                ops_per_sec: row.get_f64("ops_per_sec").unwrap_or_else(|| {
+                    if median > 0.0 {
+                        1e9 / median
+                    } else {
+                        0.0
+                    }
+                }),
+                allocs_per_op: row.get_f64("allocs_per_op").unwrap_or(0.0),
+                samples: row.get_f64("samples").unwrap_or(0.0) as usize,
+            });
+        }
+        Ok(BenchReport {
+            scenario,
+            preset,
+            calibration_ns_per_op,
+            results,
+        })
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats with enough digits to round-trip; JSON has no
+/// infinities, so degenerate measurements serialize as 0.
+fn fmt_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{x:.3}");
+    s
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (objects, arrays, strings, numbers, literals) —
+// just enough for the schema above plus additive growth.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered key/value pairs).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Key lookup helpers over object slices.
+trait ObjectExt {
+    fn field(&self, key: &str) -> Option<&Value>;
+    fn get_str(&self, key: &str) -> Option<&str>;
+    fn get_f64(&self, key: &str) -> Option<f64>;
+}
+
+impl ObjectExt for [(String, Value)] {
+    fn field(&self, key: &str) -> Option<&Value> {
+        self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn get_str(&self, key: &str) -> Option<&str> {
+        match self.field(key) {
+            Some(Value::String(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.field(key) {
+            Some(Value::Number(x)) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing input at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? != b {
+            return Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char, self.pos, self.bytes[self.pos] as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                b => return Err(format!("expected ',' or '}}', found '{}'", b as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                b => return Err(format!("expected ',' or ']', found '{}'", b as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string literal")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("unsupported escape '\\{}'", esc as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence through.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            scenario: "decode-throughput".into(),
+            preset: "quick".into(),
+            calibration_ns_per_op: 2.125,
+            results: vec![
+                BenchResult::new("uf/d3", 1532.812, 0.0, 7),
+                BenchResult::new("mwpm/d3", 20711.333, 12.25, 7),
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let report = sample_report();
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.scenario, report.scenario);
+        assert_eq!(parsed.preset, report.preset);
+        assert!((parsed.calibration_ns_per_op - report.calibration_ns_per_op).abs() < 1e-3);
+        assert_eq!(parsed.results.len(), 2);
+        for (a, b) in parsed.results.iter().zip(&report.results) {
+            assert_eq!(a.name, b.name);
+            assert!((a.median_ns_per_op - b.median_ns_per_op).abs() < 1e-3);
+            assert!((a.allocs_per_op - b.allocs_per_op).abs() < 1e-3);
+            assert_eq!(a.samples, b.samples);
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let text = r#"{
+            "schema": 1,
+            "scenario": "s",
+            "preset": "quick",
+            "git": "abc123",
+            "results": [
+                {"name": "a", "median_ns_per_op": 10.0, "note": "x"}
+            ]
+        }"#;
+        let report = BenchReport::from_json(text).unwrap();
+        assert_eq!(report.results[0].name, "a");
+        assert!((report.results[0].ops_per_sec - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in [
+            "",
+            "[1, 2",
+            "{\"scenario\": 3, \"results\": []}",
+            "{\"scenario\": \"s\"}",
+            "{} trailing",
+        ] {
+            assert!(BenchReport::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_cleanly() {
+        let report = BenchReport {
+            scenario: "quote\"back\\slash".into(),
+            preset: "p".into(),
+            calibration_ns_per_op: 0.0,
+            results: vec![],
+        };
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.scenario, report.scenario);
+    }
+}

@@ -1,0 +1,311 @@
+//! The named, criterion-comparable scenarios `ftqc-bench` measures.
+//!
+//! Three hot paths carry the paper's evaluations, and each gets a
+//! scenario:
+//!
+//! * `decode-throughput` — per-decoder decode speed over pre-sampled
+//!   syndromes at increasing code distance, through the
+//!   zero-allocation [`Decoder::decode_into`] path with one reused
+//!   [`DecoderScratch`] (plus `decode-throughput-alloc`, the same
+//!   measurement through the allocating [`Decoder::predict`] path, so
+//!   the scratch win stays visible).
+//! * `adaptive-pipeline` — end-to-end shots/sec of the
+//!   run-until-confident evaluation engine (sampling + decoding +
+//!   stopping), the loop behind every LER figure.
+//! * `runtime-sweep` — merges/sec of the discrete-event program
+//!   runtime executing a QFT schedule under each synchronization
+//!   policy family.
+//!
+//! Every scenario exists in a `quick` preset (seconds; what CI's
+//! `perf-smoke` job runs and gates on) and a `full` preset (the
+//! distance sweep d = 3..11 behind the EXPERIMENTS.md throughput
+//! table).
+//!
+//! Operations are timed in whole passes (one pass decodes every
+//! pre-sampled syndrome once) and reported as median ns/op across
+//! passes; allocation counts come from the counting allocator when the
+//! binary installs it, so `allocs_per_op` is exact, not sampled.
+
+use crate::alloc::allocation_count;
+use crate::json::{BenchReport, BenchResult};
+use ftqc_decoder::{Decoder, DecoderKind, DecoderScratch};
+use ftqc_experiments::EvalPipeline;
+use ftqc_noise::HardwareConfig;
+use ftqc_sim::{sample_batch, StopRule};
+use ftqc_surface::MemoryConfig;
+use std::time::Instant;
+
+/// How much work a scenario does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Reduced sizes, a few seconds per scenario — the CI gate.
+    Quick,
+    /// The paper-scale sweep (d = 3..11) behind the committed tables.
+    Full,
+}
+
+impl Preset {
+    /// `"quick"` / `"full"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::Quick => "quick",
+            Preset::Full => "full",
+        }
+    }
+}
+
+impl std::str::FromStr for Preset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Preset, String> {
+        match s {
+            "quick" => Ok(Preset::Quick),
+            "full" => Ok(Preset::Full),
+            other => Err(format!("unknown preset '{other}' (expected quick|full)")),
+        }
+    }
+}
+
+/// Every scenario name `run_scenario` accepts, in run order.
+pub fn scenario_names() -> &'static [&'static str] {
+    &[
+        "decode-throughput",
+        "decode-throughput-alloc",
+        "adaptive-pipeline",
+        "runtime-sweep",
+    ]
+}
+
+/// Runs one named scenario and returns its report.
+///
+/// # Errors
+///
+/// Returns an error naming the valid scenarios when `name` is unknown.
+pub fn run_scenario(name: &str, preset: Preset) -> Result<BenchReport, String> {
+    let results = match name {
+        "decode-throughput" => decode_throughput(preset, DecodePath::Scratch),
+        "decode-throughput-alloc" => decode_throughput(preset, DecodePath::Allocating),
+        "adaptive-pipeline" => adaptive_pipeline(preset),
+        "runtime-sweep" => runtime_sweep(preset),
+        other => {
+            return Err(format!(
+                "unknown scenario '{other}' (expected one of: {})",
+                scenario_names().join(", ")
+            ))
+        }
+    };
+    Ok(BenchReport {
+        scenario: name.to_string(),
+        preset: preset.name().to_string(),
+        calibration_ns_per_op: calibrate(),
+        results,
+    })
+}
+
+/// ns/op of a fixed synthetic CPU-bound loop (xorshift64 over 4M
+/// steps, median of 5), stamped into every report as the measuring
+/// host's speed reference. `ftqc-bench compare` divides new medians by
+/// the calibration ratio before thresholding, so a baseline recorded
+/// on one machine gates runs on another by *relative* slowdown rather
+/// than by raw hardware difference.
+pub fn calibrate() -> f64 {
+    const STEPS: u64 = 4_000_000;
+    let mut samples = [0.0f64; 5];
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for sample in &mut samples {
+        let t0 = Instant::now();
+        for _ in 0..STEPS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        std::hint::black_box(x);
+        *sample = t0.elapsed().as_nanos() as f64 / STEPS as f64;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Timed samples per measurement.
+const SAMPLES: usize = 7;
+
+/// Times `pass` (which returns the operations it performed) `SAMPLES`
+/// times after one warm-up pass, returning the measured row.
+fn measure(name: &str, mut pass: impl FnMut() -> usize) -> BenchResult {
+    let _ = pass(); // warm-up: grow scratches, fault in tables
+    let mut ns_per_op = Vec::with_capacity(SAMPLES);
+    let mut allocs = 0u64;
+    let mut ops_total = 0usize;
+    for _ in 0..SAMPLES {
+        let a0 = allocation_count();
+        let t0 = Instant::now();
+        let ops = pass().max(1);
+        let elapsed = t0.elapsed();
+        allocs += allocation_count() - a0;
+        ops_total += ops;
+        ns_per_op.push(elapsed.as_nanos() as f64 / ops as f64);
+    }
+    ns_per_op.sort_by(|a, b| a.total_cmp(b));
+    let median = ns_per_op[ns_per_op.len() / 2];
+    BenchResult::new(name, median, allocs as f64 / ops_total as f64, SAMPLES)
+}
+
+/// Which decode entry point a throughput row measures.
+#[derive(Clone, Copy, PartialEq)]
+enum DecodePath {
+    /// `decode_into` with one reused scratch (the hot path).
+    Scratch,
+    /// `predict` with a fresh scratch per shot (the historical path).
+    Allocating,
+}
+
+/// `(decoder label, kind, distances per preset)` rows of the decode
+/// throughput sweep.
+fn decode_matrix(preset: Preset) -> Vec<(&'static str, DecoderKind, Vec<u32>)> {
+    match preset {
+        Preset::Quick => vec![
+            ("uf", DecoderKind::UnionFind, vec![3, 5]),
+            ("lut", DecoderKind::lut(), vec![3]),
+            ("mwpm", DecoderKind::Mwpm, vec![3]),
+            ("hierarchical", DecoderKind::hierarchical(), vec![3]),
+        ],
+        Preset::Full => vec![
+            ("uf", DecoderKind::UnionFind, vec![3, 5, 7, 9, 11]),
+            ("lut", DecoderKind::lut(), vec![3, 5, 7, 9, 11]),
+            ("mwpm", DecoderKind::Mwpm, vec![3, 5, 7]),
+            ("hierarchical", DecoderKind::hierarchical(), vec![3, 5]),
+        ],
+    }
+}
+
+/// Shots pre-sampled per decode row (the op count of one pass).
+const DECODE_SHOTS: usize = 512;
+
+fn decode_throughput(preset: Preset, path: DecodePath) -> Vec<BenchResult> {
+    let hw = HardwareConfig::ibm();
+    let mut results = Vec::new();
+    for (label, kind, distances) in decode_matrix(preset) {
+        for d in distances {
+            // Setup (untimed): lower, extract, build, pre-sample.
+            let pipeline = EvalPipeline::memory(MemoryConfig::new(d, d + 1, &hw))
+                .physical_error(1e-3)
+                .decoder(kind)
+                .seed(2025)
+                .build();
+            let decoder = pipeline.decoder();
+            let batch = sample_batch(pipeline.circuit(), DECODE_SHOTS, 2025);
+            let syndromes: Vec<Vec<u32>> = (0..batch.shots)
+                .map(|s| batch.flagged_detectors(s))
+                .collect();
+            let mut scratch = DecoderScratch::new();
+            let mut correction = 0u32;
+            let name = format!("{label}/d{d}");
+            results.push(measure(&name, || {
+                let mut acc = 0u32;
+                for syndrome in &syndromes {
+                    match path {
+                        DecodePath::Scratch => {
+                            decoder.decode_into(&mut scratch, syndrome, &mut correction);
+                            acc ^= correction;
+                        }
+                        DecodePath::Allocating => acc ^= decoder.predict(syndrome),
+                    }
+                }
+                std::hint::black_box(acc);
+                syndromes.len()
+            }));
+        }
+    }
+    results
+}
+
+fn adaptive_pipeline(preset: Preset) -> Vec<BenchResult> {
+    let hw = HardwareConfig::ibm();
+    let distances: &[u32] = match preset {
+        Preset::Quick => &[3],
+        Preset::Full => &[3, 5],
+    };
+    let mut results = Vec::new();
+    for &d in distances {
+        let ceiling: u64 = match preset {
+            Preset::Quick => 20_000,
+            Preset::Full => 50_000,
+        };
+        let pipeline = EvalPipeline::memory(MemoryConfig::new(d, d + 1, &hw))
+            .physical_error(3e-3)
+            .shots(ceiling)
+            .seed(2025)
+            .threads(2)
+            .build();
+        pipeline.decoder(); // build outside the timed region
+        let rule = StopRule::max_shots(ceiling).min_failures(50);
+        results.push(measure(&format!("adaptive/d{d}-min50"), || {
+            let outcome = pipeline.run_adaptive(&rule);
+            std::hint::black_box(outcome.shots()) as usize
+        }));
+        results.push(measure(&format!("fixed/d{d}-{}k", ceiling / 1000), || {
+            std::hint::black_box(pipeline.run());
+            ceiling as usize
+        }));
+    }
+    results
+}
+
+fn runtime_sweep(preset: Preset) -> Vec<BenchResult> {
+    use ftqc_estimator::{workloads, LogicalEstimate};
+    use ftqc_runtime::{execute, ProgramSchedule, RuntimeConfig};
+    use ftqc_sync::PolicySpec;
+
+    let merges = match preset {
+        Preset::Quick => 200,
+        Preset::Full => 500,
+    };
+    let workload = workloads::qft(80);
+    let estimate = LogicalEstimate::for_workload(&workload, 1e-3, 1e-2);
+    let schedule = ProgramSchedule::compile(&workload, &estimate, merges, 2025);
+    let hw = HardwareConfig::ibm();
+    let mut results = Vec::new();
+    for (name, policy) in [
+        ("runtime/passive", PolicySpec::Passive),
+        ("runtime/active", PolicySpec::Active),
+        ("runtime/hybrid", PolicySpec::hybrid(400.0)),
+        ("runtime/dynamic-hybrid", PolicySpec::dynamic_hybrid()),
+    ] {
+        let config = RuntimeConfig::new(&hw, policy, 2025);
+        results.push(measure(name, || {
+            let report = execute(&schedule, &config);
+            std::hint::black_box(report.overhead_percent());
+            schedule.merges() as usize
+        }));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_scenario_is_rejected_with_catalog() {
+        let err = run_scenario("nope", Preset::Quick).unwrap_err();
+        assert!(err.contains("decode-throughput"), "{err}");
+    }
+
+    #[test]
+    fn preset_parses_and_rejects() {
+        assert_eq!("quick".parse::<Preset>().unwrap(), Preset::Quick);
+        assert_eq!("full".parse::<Preset>().unwrap(), Preset::Full);
+        assert!("medium".parse::<Preset>().is_err());
+    }
+
+    #[test]
+    fn runtime_sweep_emits_all_policy_rows() {
+        let report = run_scenario("runtime-sweep", Preset::Quick).unwrap();
+        assert_eq!(report.results.len(), 4);
+        assert!(report.results.iter().all(|r| r.median_ns_per_op > 0.0));
+        assert!(report
+            .results
+            .iter()
+            .any(|r| r.name == "runtime/dynamic-hybrid"));
+    }
+}

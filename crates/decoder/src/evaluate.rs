@@ -1,17 +1,40 @@
 //! End-to-end logical-error-rate evaluation.
 
+use crate::scratch::DecoderScratch;
 use ftqc_circuit::Circuit;
-use ftqc_sim::{batch_plan, parallel_batches_indexed, BatchSpec, BinomialEstimate};
+use ftqc_sim::{batch_plan, parallel_batches_with, BatchSpec, BinomialEstimate};
 
 /// A syndrome decoder: maps the set of flagged detectors of one shot to
 /// a predicted logical-observable flip mask.
 pub trait Decoder: Sync {
-    /// Predicts the observable flips (bit `i` = observable `i`) for a
-    /// shot whose flagged detectors are `flagged` (sorted ascending).
-    fn predict(&self, flagged: &[u32]) -> u32;
+    /// Decodes one shot out of a reusable workspace: writes the
+    /// predicted observable flips (bit `i` = observable `i`) for a
+    /// shot whose flagged detectors are `syndrome` (sorted ascending)
+    /// into `correction`.
+    ///
+    /// This is the hot-loop entry point: implementations draw every
+    /// temporary from `scratch`, so a caller that reuses one scratch
+    /// per thread decodes with zero steady-state heap allocations.
+    /// Results must be bit-identical to [`predict`](Decoder::predict)
+    /// regardless of what previous decodes left in `scratch`.
+    fn decode_into(&self, scratch: &mut DecoderScratch, syndrome: &[u32], correction: &mut u32);
+
+    /// [`decode_into`](Decoder::decode_into) through a fresh workspace
+    /// — the convenient allocating path for one-off decodes, tests and
+    /// studies off the hot loop.
+    fn predict(&self, flagged: &[u32]) -> u32 {
+        let mut scratch = DecoderScratch::new();
+        let mut correction = 0;
+        self.decode_into(&mut scratch, flagged, &mut correction);
+        correction
+    }
 }
 
 impl<D: Decoder + ?Sized> Decoder for &D {
+    fn decode_into(&self, scratch: &mut DecoderScratch, syndrome: &[u32], correction: &mut u32) {
+        (**self).decode_into(scratch, syndrome, correction)
+    }
+
     fn predict(&self, flagged: &[u32]) -> u32 {
         (**self).predict(flagged)
     }
@@ -64,8 +87,15 @@ pub fn evaluate_ler(
 /// the streaming building block of the adaptive evaluation engine.
 ///
 /// Each batch's shot stream is derived from its global index (see
-/// [`parallel_batches_indexed`]), so counts are bit-identical whether
-/// a plan runs in one call or in chunks, at any thread count.
+/// [`ftqc_sim::parallel_batches_indexed`]), so counts are bit-identical
+/// whether a plan runs in one call or in chunks, at any thread count.
+///
+/// The circuit is borrowed and every worker thread owns one reusable
+/// [`DecoderScratch`], syndrome buffer and sampler workspace for its
+/// whole lifetime — nothing circuit- or DEM-derived is cloned per
+/// batch, and a steady-state shot performs zero heap allocations (the
+/// only per-batch allocation is the returned count vector itself;
+/// asserted by the counting-allocator tests in `ftqc-bench`).
 ///
 /// # Panics
 ///
@@ -78,21 +108,29 @@ pub fn count_batch_errors(
     threads: usize,
 ) -> Vec<Vec<u64>> {
     let num_obs = circuit.num_observables() as usize;
-    parallel_batches_indexed(circuit, batches, seed, threads, |batch| {
-        let mut errors = vec![0u64; num_obs];
-        for s in 0..batch.shots {
-            let flagged = batch.flagged_detectors(s);
-            let predicted = decoder.predict(&flagged);
-            for (o, err) in errors.iter_mut().enumerate() {
-                let actual = batch.observable(o, s);
-                let pred = (predicted >> o) & 1 == 1;
-                if actual != pred {
-                    *err += 1;
+    parallel_batches_with(
+        circuit,
+        batches,
+        seed,
+        threads,
+        || (DecoderScratch::new(), Vec::new()),
+        |batch, (scratch, syndrome)| {
+            let mut errors = vec![0u64; num_obs];
+            let mut predicted = 0u32;
+            for s in 0..batch.shots {
+                batch.flagged_detectors_into(s, syndrome);
+                decoder.decode_into(scratch, syndrome, &mut predicted);
+                for (o, err) in errors.iter_mut().enumerate() {
+                    let actual = batch.observable(o, s);
+                    let pred = (predicted >> o) & 1 == 1;
+                    if actual != pred {
+                        *err += 1;
+                    }
                 }
             }
-        }
-        errors
-    })
+            errors
+        },
+    )
 }
 
 #[cfg(test)]

@@ -125,34 +125,32 @@ impl DecodingGraph {
     /// distances, which keeps the search local for sparse syndromes).
     /// An empty target list searches the whole graph.
     pub fn dijkstra_to(&self, source: u32, targets: &[u32]) -> (Vec<f64>, Vec<u32>) {
-        use std::cmp::Ordering;
-        use std::collections::BinaryHeap;
+        let mut scratch = DijkstraScratch::new();
+        self.dijkstra_to_with(source, targets, &mut scratch);
+        (scratch.dist, scratch.mask)
+    }
 
-        #[derive(PartialEq)]
-        struct Item(f64, u32);
-        impl Eq for Item {}
-        impl Ord for Item {
-            fn cmp(&self, other: &Self) -> Ordering {
-                // Min-heap on distance.
-                other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
-            }
-        }
-        impl PartialOrd for Item {
-            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-
+    /// [`DecodingGraph::dijkstra_to`] into a reusable workspace —
+    /// allocation-free once the workspace has grown to the graph's
+    /// size. Results land in [`DijkstraScratch::dist`] /
+    /// [`DijkstraScratch::mask`] and are bit-identical to the
+    /// allocating variant.
+    pub fn dijkstra_to_with(&self, source: u32, targets: &[u32], scratch: &mut DijkstraScratch) {
         let n = self.num_detectors as usize + 1; // + boundary
         let boundary = self.num_detectors;
-        let mut dist = vec![f64::INFINITY; n];
-        let mut mask = vec![0u32; n];
-        let mut heap = BinaryHeap::new();
+        let dist = &mut scratch.dist;
+        let mask = &mut scratch.mask;
+        let heap = &mut scratch.heap;
+        dist.clear();
+        dist.resize(n, f64::INFINITY);
+        mask.clear();
+        mask.resize(n, 0);
+        heap.clear();
         let mut remaining: usize =
             targets.iter().filter(|&&t| t != source).count() + usize::from(!targets.is_empty()); // + the boundary
         dist[source as usize] = 0.0;
-        heap.push(Item(0.0, source));
-        while let Some(Item(d, u)) = heap.pop() {
+        heap.push(HeapItem(0.0, source));
+        while let Some(HeapItem(d, u)) = heap.pop() {
             if d > dist[u as usize] {
                 continue;
             }
@@ -182,11 +180,59 @@ impl DecodingGraph {
                 if nd < dist[v as usize] {
                     dist[v as usize] = nd;
                     mask[v as usize] = mask[u as usize] ^ e.observables;
-                    heap.push(Item(nd, v));
+                    heap.push(HeapItem(nd, v));
                 }
             }
         }
-        (dist, mask)
+    }
+}
+
+/// `(distance, node)` min-heap entry of the Dijkstra searches.
+#[derive(PartialEq)]
+pub(crate) struct HeapItem(pub(crate) f64, pub(crate) u32);
+
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on distance.
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable workspace of [`DecodingGraph::dijkstra_to_with`]: the
+/// distance/mask rows and the search heap, retained across calls so
+/// repeated searches (one per defect per matched syndrome) stop
+/// allocating once warm.
+#[derive(Default)]
+pub struct DijkstraScratch {
+    pub(crate) dist: Vec<f64>,
+    pub(crate) mask: Vec<u32>,
+    pub(crate) heap: std::collections::BinaryHeap<HeapItem>,
+}
+
+impl DijkstraScratch {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> DijkstraScratch {
+        DijkstraScratch::default()
+    }
+
+    /// Distances of the last search (`f64::INFINITY` = unreachable);
+    /// index `num_detectors` is the boundary.
+    pub fn dist(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Observable masks along the last search's shortest paths.
+    pub fn mask(&self) -> &[u32] {
+        &self.mask
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::evaluate::Decoder;
 use crate::lut::LutDecoder;
 use crate::mwpm::MwpmDecoder;
+use crate::scratch::DecoderScratch;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Mutex;
@@ -91,6 +92,14 @@ impl HierarchicalDecoder {
     /// Decodes one syndrome, returning the prediction together with the
     /// modelled latency.
     pub fn decode_timed(&self, flagged: &[u32]) -> TimedDecode {
+        let mut scratch = DecoderScratch::new();
+        self.decode_timed_with(&mut scratch, flagged)
+    }
+
+    /// [`decode_timed`](HierarchicalDecoder::decode_timed) out of a
+    /// reusable workspace: LUT hits never touch the heap, and misses
+    /// decode through the matcher's scratch buffers.
+    pub fn decode_timed_with(&self, scratch: &mut DecoderScratch, flagged: &[u32]) -> TimedDecode {
         use std::sync::atomic::Ordering;
         self.total.fetch_add(1, Ordering::Relaxed);
         match self.lut.lookup(flagged) {
@@ -103,7 +112,8 @@ impl HierarchicalDecoder {
                 }
             }
             None => {
-                let prediction = self.mwpm.predict(flagged);
+                let mut prediction = 0;
+                self.mwpm.decode_into(scratch, flagged, &mut prediction);
                 let latency_ns = {
                     let mut rng = self.rng.lock().expect("rng poisoned");
                     let i = rng.gen_range(0..self.latency.miss_samples_ns.len());
@@ -137,8 +147,8 @@ impl HierarchicalDecoder {
 }
 
 impl Decoder for HierarchicalDecoder {
-    fn predict(&self, flagged: &[u32]) -> u32 {
-        self.decode_timed(flagged).prediction
+    fn decode_into(&self, scratch: &mut DecoderScratch, syndrome: &[u32], correction: &mut u32) {
+        *correction = self.decode_timed_with(scratch, syndrome).prediction;
     }
 }
 

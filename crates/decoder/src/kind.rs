@@ -106,9 +106,22 @@ impl DecoderKind {
     /// [`HierarchicalDecoder::new`] directly when modelling measured
     /// latencies (as the Fig. 22 study does).
     pub fn build(&self, circuit: &Circuit, graph: DecodingGraph, seed: u64) -> AnyDecoder {
+        self.build_shared(circuit, std::sync::Arc::new(graph), seed)
+    }
+
+    /// [`build`](DecoderKind::build) from an already-shared graph: no
+    /// deep copy of the edge/adjacency tables is made anywhere in the
+    /// construction, so callers holding one graph (like the evaluation
+    /// pipeline) can build any number of decoders over it for free.
+    pub fn build_shared(
+        &self,
+        circuit: &Circuit,
+        graph: std::sync::Arc<DecodingGraph>,
+        seed: u64,
+    ) -> AnyDecoder {
         match *self {
-            DecoderKind::UnionFind => AnyDecoder::UnionFind(UfDecoder::new(graph)),
-            DecoderKind::Mwpm => AnyDecoder::Mwpm(MwpmDecoder::new(graph)),
+            DecoderKind::UnionFind => AnyDecoder::UnionFind(UfDecoder::from_shared(graph)),
+            DecoderKind::Mwpm => AnyDecoder::Mwpm(MwpmDecoder::from_shared(graph)),
             DecoderKind::Lut {
                 train_shots,
                 capacity_bytes,
@@ -123,7 +136,7 @@ impl DecoderKind {
                 capacity_bytes,
             } => {
                 let lut = LutDecoder::train(circuit, train_shots, seed, capacity_bytes);
-                let mwpm = MwpmDecoder::new(graph);
+                let mwpm = MwpmDecoder::from_shared(graph);
                 AnyDecoder::Hierarchical(HierarchicalDecoder::new(
                     lut,
                     mwpm,
@@ -204,6 +217,20 @@ impl AnyDecoder {
 }
 
 impl Decoder for AnyDecoder {
+    fn decode_into(
+        &self,
+        scratch: &mut crate::DecoderScratch,
+        syndrome: &[u32],
+        correction: &mut u32,
+    ) {
+        match self {
+            AnyDecoder::UnionFind(d) => d.decode_into(scratch, syndrome, correction),
+            AnyDecoder::Mwpm(d) => d.decode_into(scratch, syndrome, correction),
+            AnyDecoder::Lut(d) => d.decode_into(scratch, syndrome, correction),
+            AnyDecoder::Hierarchical(d) => d.decode_into(scratch, syndrome, correction),
+        }
+    }
+
     fn predict(&self, flagged: &[u32]) -> u32 {
         match self {
             AnyDecoder::UnionFind(d) => d.predict(flagged),

@@ -22,10 +22,14 @@
 //! * [`DecoderKind`] / [`AnyDecoder`] — unified decoder selection: a
 //!   kind is a complete recipe (`kind.build(&circuit, graph, seed)`),
 //!   so callers never branch on decoder families themselves.
+//! * [`DecoderScratch`] — the reusable per-thread workspace behind
+//!   [`Decoder::decode_into`]: every decoder family decodes out of it
+//!   with zero steady-state heap allocations per shot, which is where
+//!   the batch-decoding throughput lives (measured by `ftqc-bench`).
 //! * [`evaluate_ler`] — end-to-end logical-error-rate evaluation of a
 //!   noisy circuit under any [`Decoder`]; [`count_batch_errors`] is the
 //!   streaming per-batch variant the adaptive evaluation engine merges
-//!   incrementally.
+//!   incrementally, with one scratch per worker thread.
 //!
 //! # Example
 //!
@@ -50,12 +54,14 @@ mod hierarchical;
 mod kind;
 mod lut;
 mod mwpm;
+mod scratch;
 mod union_find;
 
 pub use evaluate::{count_batch_errors, evaluate_ler, Decoder};
-pub use graph::{DecodingGraph, GraphEdge};
+pub use graph::{DecodingGraph, DijkstraScratch, GraphEdge};
 pub use hierarchical::{HierarchicalDecoder, LatencyModel, TimedDecode};
 pub use kind::{AnyDecoder, DecoderKind};
 pub use lut::LutDecoder;
 pub use mwpm::MwpmDecoder;
+pub use scratch::DecoderScratch;
 pub use union_find::UfDecoder;

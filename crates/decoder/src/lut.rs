@@ -1,6 +1,7 @@
 //! Capacity-limited lookup-table decoding (LILLIPUT-style).
 
 use crate::evaluate::Decoder;
+use crate::scratch::DecoderScratch;
 use ftqc_circuit::Circuit;
 use ftqc_sim::sample_batch;
 use std::collections::HashMap;
@@ -94,6 +95,13 @@ impl LutDecoder {
 }
 
 impl Decoder for LutDecoder {
+    /// Table lookup never touches the heap (slice keys hash in place),
+    /// so the scratch is unused — zero allocations per decode by
+    /// construction.
+    fn decode_into(&self, _scratch: &mut DecoderScratch, syndrome: &[u32], correction: &mut u32) {
+        *correction = self.lookup(syndrome).unwrap_or(0);
+    }
+
     fn predict(&self, flagged: &[u32]) -> u32 {
         self.lookup(flagged).unwrap_or(0)
     }

@@ -2,7 +2,9 @@
 
 use crate::evaluate::Decoder;
 use crate::graph::DecodingGraph;
+use crate::scratch::{DecoderScratch, MatchScratch};
 use crate::union_find::UfDecoder;
+use std::sync::Arc;
 /// A minimum-weight perfect-matching decoder (the role PyMatching plays
 /// in the paper's toolchain).
 ///
@@ -23,16 +25,24 @@ use crate::union_find::UfDecoder;
 /// for `UfDecoder`.
 #[derive(Debug, Clone)]
 pub struct MwpmDecoder {
-    graph: DecodingGraph,
+    graph: Arc<DecodingGraph>,
     fallback: UfDecoder,
     exact_limit: usize,
 }
 
 impl MwpmDecoder {
     /// Wraps a decoding graph with the default exact-matching limit.
+    /// The union-find fallback shares the same graph through an `Arc`
+    /// rather than deep-copying the edge and adjacency tables.
     pub fn new(graph: DecodingGraph) -> MwpmDecoder {
+        MwpmDecoder::from_shared(Arc::new(graph))
+    }
+
+    /// [`new`](MwpmDecoder::new) from an already-shared graph (no deep
+    /// copy at all).
+    pub fn from_shared(graph: Arc<DecodingGraph>) -> MwpmDecoder {
         MwpmDecoder {
-            fallback: UfDecoder::new(graph.clone()),
+            fallback: UfDecoder::from_shared(Arc::clone(&graph)),
             graph,
             exact_limit: 16,
         }
@@ -61,38 +71,46 @@ impl MwpmDecoder {
         &self.graph
     }
 
-    /// Exact subset-DP matching over the flagged detectors. Returns the
-    /// observable mask of the minimum-weight pairing.
-    fn match_exact(&self, flagged: &[u32]) -> u32 {
+    /// Exact subset-DP matching over the flagged detectors, working out
+    /// of `s` (flattened `k x k` matrices plus the `2^k` DP tables).
+    /// Returns the observable mask of the minimum-weight pairing,
+    /// bit-identical to the historically allocating formulation.
+    fn match_exact(&self, s: &mut MatchScratch, flagged: &[u32]) -> u32 {
         let k = flagged.len();
         let boundary = self.graph.num_detectors() as usize;
         // Pairwise distances and boundary distances with observable
         // masks along shortest paths.
-        let mut pair_d = vec![vec![f64::INFINITY; k]; k];
-        let mut pair_m = vec![vec![0u32; k]; k];
-        let mut bdry_d = vec![f64::INFINITY; k];
-        let mut bdry_m = vec![0u32; k];
+        s.pair_d.clear();
+        s.pair_d.resize(k * k, f64::INFINITY);
+        s.pair_m.clear();
+        s.pair_m.resize(k * k, 0);
+        s.bdry_d.clear();
+        s.bdry_d.resize(k, f64::INFINITY);
+        s.bdry_m.clear();
+        s.bdry_m.resize(k, 0);
         for (i, &f) in flagged.iter().enumerate() {
-            let (dist, mask) = self.graph.dijkstra_to(f, flagged);
+            self.graph.dijkstra_to_with(f, flagged, &mut s.dijkstra);
             for (j, &g) in flagged.iter().enumerate() {
-                pair_d[i][j] = dist[g as usize];
-                pair_m[i][j] = mask[g as usize];
+                s.pair_d[i * k + j] = s.dijkstra.dist[g as usize];
+                s.pair_m[i * k + j] = s.dijkstra.mask[g as usize];
             }
-            bdry_d[i] = dist[boundary];
-            bdry_m[i] = mask[boundary];
+            s.bdry_d[i] = s.dijkstra.dist[boundary];
+            s.bdry_m[i] = s.dijkstra.mask[boundary];
         }
         // dp[mask] = (cost, choice) over unmatched defects in `mask`.
         let full = (1usize << k) - 1;
-        let mut dp = vec![f64::INFINITY; full + 1];
-        let mut choice: Vec<(usize, Option<usize>)> = vec![(0, None); full + 1];
-        dp[0] = 0.0;
+        s.dp.clear();
+        s.dp.resize(full + 1, f64::INFINITY);
+        s.choice.clear();
+        s.choice.resize(full + 1, (0, None));
+        s.dp[0] = 0.0;
         for mask in 1..=full {
             let i = mask.trailing_zeros() as usize;
             let rest = mask & !(1 << i);
             // Match i to the boundary.
-            if bdry_d[i] + dp[rest] < dp[mask] {
-                dp[mask] = bdry_d[i] + dp[rest];
-                choice[mask] = (i, None);
+            if s.bdry_d[i] + s.dp[rest] < s.dp[mask] {
+                s.dp[mask] = s.bdry_d[i] + s.dp[rest];
+                s.choice[mask] = (i, None);
             }
             // Match i to another defect j.
             let mut bits = rest;
@@ -100,10 +118,10 @@ impl MwpmDecoder {
                 let j = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let sub = rest & !(1 << j);
-                let cost = pair_d[i][j] + dp[sub];
-                if cost < dp[mask] {
-                    dp[mask] = cost;
-                    choice[mask] = (i, Some(j));
+                let cost = s.pair_d[i * k + j] + s.dp[sub];
+                if cost < s.dp[mask] {
+                    s.dp[mask] = cost;
+                    s.choice[mask] = (i, Some(j));
                 }
             }
         }
@@ -111,14 +129,14 @@ impl MwpmDecoder {
         let mut obs = 0u32;
         let mut mask = full;
         while mask != 0 {
-            let (i, j) = choice[mask];
+            let (i, j) = s.choice[mask];
             match j {
                 None => {
-                    obs ^= bdry_m[i];
+                    obs ^= s.bdry_m[i];
                     mask &= !(1 << i);
                 }
                 Some(j) => {
-                    obs ^= pair_m[i][j];
+                    obs ^= s.pair_m[i * k + j];
                     mask &= !(1 << i) & !(1 << j);
                 }
             }
@@ -128,14 +146,15 @@ impl MwpmDecoder {
 }
 
 impl Decoder for MwpmDecoder {
-    fn predict(&self, flagged: &[u32]) -> u32 {
-        if flagged.is_empty() {
-            return 0;
+    fn decode_into(&self, scratch: &mut DecoderScratch, syndrome: &[u32], correction: &mut u32) {
+        if syndrome.is_empty() {
+            *correction = 0;
+            return;
         }
-        if flagged.len() > self.exact_limit {
-            return self.fallback.predict(flagged);
+        if syndrome.len() > self.exact_limit {
+            return self.fallback.decode_into(scratch, syndrome, correction);
         }
-        self.match_exact(flagged)
+        *correction = self.match_exact(&mut scratch.matching, syndrome);
     }
 }
 

@@ -1,0 +1,175 @@
+//! Reusable decoder workspaces: the allocation seam of the decode hot
+//! loop.
+//!
+//! Every decoder family works out of a [`DecoderScratch`] via
+//! [`Decoder::decode_into`](crate::Decoder::decode_into): the
+//! union-find cluster/peeling buffers, the matcher's Dijkstra rows and
+//! subset-DP tables, and the hierarchical front end's fallback all
+//! live here instead of being allocated per shot. A worker thread
+//! keeps one scratch for its lifetime (see
+//! [`count_batch_errors`](crate::count_batch_errors)), so a
+//! steady-state decode performs **zero heap allocations** — asserted
+//! by the counting-allocator tests in `ftqc-bench`.
+//!
+//! Ownership rules:
+//!
+//! * A scratch belongs to exactly one thread at a time (`decode_into`
+//!   takes `&mut`); share nothing, clone nothing.
+//! * Scratches are decoder-agnostic: the same scratch can serve a
+//!   union-find decode on one shot and an MWPM decode on the next
+//!   (the hierarchical decoder relies on this for its miss path).
+//! * Buffers only ever grow; dropping the scratch is the only way
+//!   memory is returned. Size is bounded by the largest graph and
+//!   heaviest syndrome decoded through it.
+//! * Contents between calls are unspecified — every decode re-seeds
+//!   what it reads; results are bit-identical to a fresh scratch.
+
+use crate::graph::DijkstraScratch;
+use std::collections::VecDeque;
+
+/// Reusable workspace for [`Decoder::decode_into`] (the module-level
+/// comment in `scratch.rs` spells out the ownership rules; DESIGN.md
+/// "Performance model & bench harness" documents them for users).
+///
+/// [`Decoder::decode_into`]: crate::Decoder::decode_into
+///
+/// # Example
+///
+/// ```
+/// use ftqc_decoder::{Decoder, DecoderScratch, DecodingGraph, UfDecoder};
+/// use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
+/// use ftqc_sim::DetectorErrorModel;
+/// use ftqc_surface::MemoryConfig;
+///
+/// let hw = HardwareConfig::ibm();
+/// let circuit = CircuitNoiseModel::standard(1e-3, &hw)
+///     .apply(&MemoryConfig::new(3, 4, &hw).build());
+/// let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+/// let decoder = UfDecoder::new(DecodingGraph::from_dem(&dem));
+/// let mut scratch = DecoderScratch::new();
+/// let mut correction = 0u32;
+/// for syndrome in [vec![], vec![0, 1], vec![3]] {
+///     decoder.decode_into(&mut scratch, &syndrome, &mut correction);
+///     assert_eq!(correction, decoder.predict(&syndrome));
+/// }
+/// ```
+#[derive(Default)]
+pub struct DecoderScratch {
+    pub(crate) uf: UfScratch,
+    pub(crate) matching: MatchScratch,
+}
+
+impl DecoderScratch {
+    /// An empty workspace; buffers grow on first use and are retained
+    /// across decodes.
+    pub fn new() -> DecoderScratch {
+        DecoderScratch::default()
+    }
+}
+
+/// Union-find buffers: the DSU arrays (cluster membership is an
+/// intrusive linked list, so merges never touch the heap), the growth
+/// frontier, and the peeling pass's BFS state.
+#[derive(Default)]
+pub(crate) struct UfScratch {
+    // DSU (roots hold parity / boundary / size; membership is the
+    // `head -> next -> ... -> tail` list per root).
+    pub(crate) parent: Vec<u32>,
+    pub(crate) parity: Vec<bool>,
+    pub(crate) boundary: Vec<bool>,
+    pub(crate) size: Vec<u32>,
+    pub(crate) head: Vec<u32>,
+    pub(crate) tail: Vec<u32>,
+    pub(crate) next: Vec<u32>,
+    // Cluster growth.
+    pub(crate) defect: Vec<bool>,
+    pub(crate) grown: Vec<u32>,
+    pub(crate) saturated: Vec<bool>,
+    pub(crate) frontier: Vec<u32>,
+    pub(crate) roots: Vec<u32>,
+    // Peeling.
+    pub(crate) visited: Vec<bool>,
+    pub(crate) order: Vec<u32>,
+    pub(crate) parent_edge: Vec<u32>,
+    pub(crate) root_drains: Vec<(u32, Option<u32>)>,
+    pub(crate) queue: VecDeque<u32>,
+}
+
+/// Sentinel terminating the intrusive membership lists.
+pub(crate) const NO_NODE: u32 = u32::MAX;
+
+impl UfScratch {
+    /// Re-arms the DSU and growth buffers for a graph with `nodes`
+    /// detectors and `edges` edges. Allocation-free once the buffers
+    /// have grown to the graph's size.
+    pub(crate) fn reset(&mut self, nodes: usize, edges: usize) {
+        self.parent.clear();
+        self.parent.extend(0..nodes as u32);
+        self.parity.clear();
+        self.parity.resize(nodes, false);
+        self.boundary.clear();
+        self.boundary.resize(nodes, false);
+        self.size.clear();
+        self.size.resize(nodes, 1);
+        self.head.clear();
+        self.head.extend(0..nodes as u32);
+        self.tail.clear();
+        self.tail.extend(0..nodes as u32);
+        self.next.clear();
+        self.next.resize(nodes, NO_NODE);
+        self.defect.clear();
+        self.defect.resize(nodes, false);
+        self.grown.clear();
+        self.grown.resize(edges, 0);
+        self.saturated.clear();
+        self.saturated.resize(edges, false);
+    }
+
+    /// Root of `x`'s cluster, with path compression.
+    pub(crate) fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the clusters of `a` and `b` (union by size; the smaller
+    /// membership list is appended to the larger in O(1)).
+    pub(crate) fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.parity[ra as usize] ^= self.parity[rb as usize];
+        self.boundary[ra as usize] |= self.boundary[rb as usize];
+        self.size[ra as usize] += self.size[rb as usize];
+        self.next[self.tail[ra as usize] as usize] = self.head[rb as usize];
+        self.tail[ra as usize] = self.tail[rb as usize];
+        ra
+    }
+}
+
+/// Matching buffers: one Dijkstra workspace plus the flattened `k x k`
+/// distance/mask matrices and the `2^k` subset-DP tables of the exact
+/// matcher.
+#[derive(Default)]
+pub(crate) struct MatchScratch {
+    pub(crate) dijkstra: DijkstraScratch,
+    pub(crate) pair_d: Vec<f64>,
+    pub(crate) pair_m: Vec<u32>,
+    pub(crate) bdry_d: Vec<f64>,
+    pub(crate) bdry_m: Vec<u32>,
+    pub(crate) dp: Vec<f64>,
+    pub(crate) choice: Vec<(usize, Option<usize>)>,
+}

@@ -2,6 +2,8 @@
 
 use crate::evaluate::Decoder;
 use crate::graph::DecodingGraph;
+use crate::scratch::{DecoderScratch, UfScratch, NO_NODE};
+use std::sync::Arc;
 
 /// A weighted union-find decoder (Delfosse–Nickerson).
 ///
@@ -20,7 +22,7 @@ use crate::graph::DecodingGraph;
 /// exact matcher on small codes.
 #[derive(Debug, Clone)]
 pub struct UfDecoder {
-    graph: DecodingGraph,
+    graph: Arc<DecodingGraph>,
     /// Integer edge capacities (scaled weights).
     capacity: Vec<u32>,
 }
@@ -31,6 +33,13 @@ const WEIGHT_SCALE: f64 = 4.0;
 impl UfDecoder {
     /// Wraps a decoding graph.
     pub fn new(graph: DecodingGraph) -> UfDecoder {
+        UfDecoder::from_shared(Arc::new(graph))
+    }
+
+    /// Wraps an already-shared decoding graph without deep-copying it —
+    /// how [`MwpmDecoder`](crate::MwpmDecoder) shares one graph with
+    /// its union-find fallback.
+    pub fn from_shared(graph: Arc<DecodingGraph>) -> UfDecoder {
         let capacity = graph
             .edges()
             .iter()
@@ -45,80 +54,31 @@ impl UfDecoder {
     }
 }
 
-struct Dsu {
-    parent: Vec<u32>,
-    /// Root-only: number of defects mod 2.
-    parity: Vec<bool>,
-    /// Root-only: cluster touches the boundary.
-    boundary: Vec<bool>,
-    /// Root-only: member nodes (union by size keeps merges cheap).
-    members: Vec<Vec<u32>>,
-}
-
-impl Dsu {
-    fn new(n: usize) -> Dsu {
-        Dsu {
-            parent: (0..n as u32).collect(),
-            parity: vec![false; n],
-            boundary: vec![false; n],
-            members: (0..n as u32).map(|i| vec![i]).collect(),
-        }
-    }
-
-    fn find(&mut self, x: u32) -> u32 {
-        let mut root = x;
-        while self.parent[root as usize] != root {
-            root = self.parent[root as usize];
-        }
-        let mut cur = x;
-        while self.parent[cur as usize] != root {
-            let next = self.parent[cur as usize];
-            self.parent[cur as usize] = root;
-            cur = next;
-        }
-        root
-    }
-
-    fn union(&mut self, a: u32, b: u32) -> u32 {
-        let (mut ra, mut rb) = (self.find(a), self.find(b));
-        if ra == rb {
-            return ra;
-        }
-        if self.members[ra as usize].len() < self.members[rb as usize].len() {
-            std::mem::swap(&mut ra, &mut rb);
-        }
-        self.parent[rb as usize] = ra;
-        let parity = self.parity[ra as usize] ^ self.parity[rb as usize];
-        self.parity[ra as usize] = parity;
-        self.boundary[ra as usize] |= self.boundary[rb as usize];
-        let moved = std::mem::take(&mut self.members[rb as usize]);
-        self.members[ra as usize].extend(moved);
-        ra
-    }
-}
-
 impl Decoder for UfDecoder {
-    fn predict(&self, flagged: &[u32]) -> u32 {
-        if flagged.is_empty() {
-            return 0;
+    fn decode_into(&self, scratch: &mut DecoderScratch, syndrome: &[u32], correction: &mut u32) {
+        *correction = 0;
+        if syndrome.is_empty() {
+            return;
         }
         let n = self.graph.num_detectors() as usize;
         let edges = self.graph.edges();
-        let mut dsu = Dsu::new(n);
-        let mut defect = vec![false; n];
-        for &f in flagged {
-            defect[f as usize] = true;
-            dsu.parity[f as usize] = true;
+        let s = &mut scratch.uf;
+        s.reset(n, edges.len());
+        for &f in syndrome {
+            s.defect[f as usize] = true;
+            s.parity[f as usize] = true;
         }
-        let mut grown = vec![0u32; edges.len()];
-        let mut saturated = vec![false; edges.len()];
-        let mut frontier_scratch: Vec<u32> = Vec::new();
+        // The root/frontier lists are borrowed out of the scratch for
+        // the growth loop (which needs `&mut s` for find/union) and
+        // handed back after, so their capacity is retained.
+        let mut roots = std::mem::take(&mut s.roots);
+        let mut frontier = std::mem::take(&mut s.frontier);
         loop {
             // Roots of still-odd, boundary-free clusters.
-            let mut roots: Vec<u32> = Vec::with_capacity(flagged.len());
-            for &x in flagged {
-                let r = dsu.find(x);
-                if dsu.parity[r as usize] && !dsu.boundary[r as usize] {
+            roots.clear();
+            for &x in syndrome {
+                let r = s.find(x);
+                if s.parity[r as usize] && !s.boundary[r as usize] {
                     roots.push(r);
                 }
             }
@@ -129,125 +89,159 @@ impl Decoder for UfDecoder {
             }
             for &root in &roots {
                 // A merge earlier in this pass may have neutralized it.
-                let r = dsu.find(root);
-                if r != root || !dsu.parity[r as usize] || dsu.boundary[r as usize] {
+                let r = s.find(root);
+                if r != root || !s.parity[r as usize] || s.boundary[r as usize] {
                     continue;
                 }
-                // Grow every unsaturated edge on the cluster frontier.
-                frontier_scratch.clear();
-                for &node in &dsu.members[root as usize] {
+                // Grow every unsaturated edge on the cluster frontier
+                // (members are walked through the intrusive list).
+                frontier.clear();
+                let mut node = s.head[root as usize];
+                while node != NO_NODE {
                     for &ei in self.graph.incident(node) {
-                        if !saturated[ei as usize] {
-                            frontier_scratch.push(ei);
+                        if !s.saturated[ei as usize] {
+                            frontier.push(ei);
                         }
                     }
+                    node = s.next[node as usize];
                 }
-                frontier_scratch.sort_unstable();
-                frontier_scratch.dedup();
-                for &ei in &frontier_scratch {
+                frontier.sort_unstable();
+                frontier.dedup();
+                for &ei in &frontier {
                     let e = &edges[ei as usize];
-                    grown[ei as usize] += 1;
-                    if grown[ei as usize] >= self.capacity[ei as usize] {
-                        saturated[ei as usize] = true;
+                    s.grown[ei as usize] += 1;
+                    if s.grown[ei as usize] >= self.capacity[ei as usize] {
+                        s.saturated[ei as usize] = true;
                         match e.v {
                             Some(v) => {
-                                dsu.union(e.u, v);
+                                s.union(e.u, v);
                             }
                             None => {
-                                let r = dsu.find(e.u);
-                                dsu.boundary[r as usize] = true;
+                                let r = s.find(e.u);
+                                s.boundary[r as usize] = true;
                             }
                         }
                     }
                 }
             }
         }
+        s.roots = roots;
+        s.frontier = frontier;
         // Peeling: build spanning forests over saturated edges and peel
         // leaves, flipping defects toward the root (boundary-anchored
         // when available).
-        peel(&self.graph, &saturated, &mut defect)
+        *correction = peel(&self.graph, s);
     }
 }
 
-/// Peels the saturated subgraph, returning the observable mask of the
-/// correction.
-fn peel(graph: &DecodingGraph, saturated: &[bool], defect: &mut [bool]) -> u32 {
+/// Breadth-first spanning tree of `root`'s component in the saturated
+/// subgraph, appended to `order` / `parent_edge`.
+fn bfs(
+    graph: &DecodingGraph,
+    saturated: &[bool],
+    root: u32,
+    visited: &mut [bool],
+    parent_edge: &mut [u32],
+    order: &mut Vec<u32>,
+    queue: &mut std::collections::VecDeque<u32>,
+) {
+    let edges = graph.edges();
+    visited[root as usize] = true;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &ei in graph.incident(u) {
+            if !saturated[ei as usize] {
+                continue;
+            }
+            let e = &edges[ei as usize];
+            let Some(v) = e.v else { continue };
+            let w = if e.u == u { v } else { e.u };
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                parent_edge[w as usize] = ei;
+                queue.push_back(w);
+            }
+        }
+    }
+}
+
+/// Peels the saturated subgraph (in `s.saturated` / `s.defect`),
+/// returning the observable mask of the correction.
+fn peel(graph: &DecodingGraph, s: &mut UfScratch) -> u32 {
     let n = graph.num_detectors() as usize;
     let edges = graph.edges();
-    let mut visited = vec![false; n];
+    s.visited.clear();
+    s.visited.resize(n, false);
+    s.parent_edge.clear();
+    s.parent_edge.resize(n, u32::MAX);
+    s.order.clear();
+    s.root_drains.clear();
+    s.queue.clear();
     let mut mask = 0u32;
-    let mut order: Vec<u32> = Vec::new();
-    let mut parent_edge = vec![u32::MAX; n];
-    let mut boundary_edge_of_root: Vec<(u32, Option<u32>)> = Vec::new();
-    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
-    let mut bfs =
-        |root: u32, visited: &mut Vec<bool>, parent_edge: &mut Vec<u32>, order: &mut Vec<u32>| {
-            visited[root as usize] = true;
-            queue.push_back(root);
-            while let Some(u) = queue.pop_front() {
-                order.push(u);
-                for &ei in graph.incident(u) {
-                    if !saturated[ei as usize] {
-                        continue;
-                    }
-                    let e = &edges[ei as usize];
-                    let Some(v) = e.v else { continue };
-                    let w = if e.u == u { v } else { e.u };
-                    if !visited[w as usize] {
-                        visited[w as usize] = true;
-                        parent_edge[w as usize] = ei;
-                        queue.push_back(w);
-                    }
-                }
-            }
-        };
     // Boundary-anchored spanning trees first: each root's BFS claims
     // its whole component before other roots are considered, so
     // boundary-reachable defects drain to the boundary.
     for (ei, e) in edges.iter().enumerate() {
-        if saturated[ei] && e.v.is_none() && !visited[e.u as usize] {
-            boundary_edge_of_root.push((e.u, Some(ei as u32)));
-            bfs(e.u, &mut visited, &mut parent_edge, &mut order);
+        if s.saturated[ei] && e.v.is_none() && !s.visited[e.u as usize] {
+            s.root_drains.push((e.u, Some(ei as u32)));
+            bfs(
+                graph,
+                &s.saturated,
+                e.u,
+                &mut s.visited,
+                &mut s.parent_edge,
+                &mut s.order,
+                &mut s.queue,
+            );
         }
     }
     // Remaining components of the saturated subgraph.
     for node in 0..n as u32 {
-        if !visited[node as usize] {
+        if !s.visited[node as usize] {
             let in_subgraph = graph
                 .incident(node)
                 .iter()
-                .any(|&ei| saturated[ei as usize]);
-            if in_subgraph || defect[node as usize] {
-                boundary_edge_of_root.push((node, None));
-                bfs(node, &mut visited, &mut parent_edge, &mut order);
+                .any(|&ei| s.saturated[ei as usize]);
+            if in_subgraph || s.defect[node as usize] {
+                s.root_drains.push((node, None));
+                bfs(
+                    graph,
+                    &s.saturated,
+                    node,
+                    &mut s.visited,
+                    &mut s.parent_edge,
+                    &mut s.order,
+                    &mut s.queue,
+                );
             }
         }
     }
     // Peel in reverse BFS order: each non-root node pushes its defect
     // to its parent through the tree edge.
-    for &node in order.iter().rev() {
-        let ei = parent_edge[node as usize];
+    for &node in s.order.iter().rev() {
+        let ei = s.parent_edge[node as usize];
         if ei == u32::MAX {
             continue; // root
         }
-        if defect[node as usize] {
+        if s.defect[node as usize] {
             let e = &edges[ei as usize];
             mask ^= e.observables;
-            defect[node as usize] = false;
+            s.defect[node as usize] = false;
             let parent = if e.u == node {
                 e.v.expect("tree edges are internal")
             } else {
                 e.u
             };
-            defect[parent as usize] ^= true;
+            s.defect[parent as usize] ^= true;
         }
     }
     // Residual defects at roots drain through their boundary edge.
-    for (root, bedge) in boundary_edge_of_root {
-        if defect[root as usize] {
+    for &(root, bedge) in &s.root_drains {
+        if s.defect[root as usize] {
             if let Some(ei) = bedge {
                 mask ^= edges[ei as usize].observables;
-                defect[root as usize] = false;
+                s.defect[root as usize] = false;
             }
         }
     }

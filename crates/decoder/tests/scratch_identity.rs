@@ -1,0 +1,109 @@
+//! Bit-identity regression for the zero-allocation decode path: for
+//! every decoder kind, `decode_into` through one *reused* scratch must
+//! produce byte-identical corrections to the allocating path
+//! (`predict`, which decodes through a fresh scratch per call) across
+//! 1k randomized syndromes — i.e. no decode may observe what a
+//! previous decode left in the workspace.
+
+use ftqc_decoder::{Decoder, DecoderKind, DecoderScratch, DecodingGraph};
+use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
+use ftqc_sim::{sample_batch, DetectorErrorModel};
+use ftqc_surface::MemoryConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 2025;
+const SYNDROMES: usize = 1_000;
+
+/// Half realistic syndromes sampled from the circuit, half adversarial
+/// random detector subsets (including heavy ones that push MWPM onto
+/// its union-find fallback), interleaved so scratch state alternates
+/// between light and heavy decodes.
+fn syndrome_corpus(circuit: &ftqc_circuit::Circuit, num_detectors: u32) -> Vec<Vec<u32>> {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let sampled = sample_batch(circuit, SYNDROMES / 2, SEED);
+    let mut corpus = Vec::with_capacity(SYNDROMES);
+    for s in 0..sampled.shots {
+        corpus.push(sampled.flagged_detectors(s));
+        // Random subset with shot-dependent density (0..~30%).
+        let density = rng.gen::<f64>() * 0.3;
+        corpus.push(
+            (0..num_detectors)
+                .filter(|_| rng.gen_bool(density))
+                .collect(),
+        );
+    }
+    corpus.truncate(SYNDROMES);
+    corpus
+}
+
+#[test]
+fn reused_scratch_matches_allocating_path_for_all_kinds() {
+    let hw = HardwareConfig::ibm();
+    let circuit =
+        CircuitNoiseModel::standard(2e-3, &hw).apply(&MemoryConfig::new(3, 4, &hw).build());
+    let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+    let graph = DecodingGraph::from_dem(&dem);
+    let corpus = syndrome_corpus(&circuit, graph.num_detectors());
+    assert_eq!(corpus.len(), SYNDROMES);
+    for kind in [
+        DecoderKind::UnionFind,
+        DecoderKind::Mwpm,
+        DecoderKind::lut(),
+        DecoderKind::hierarchical(),
+    ] {
+        let decoder = kind.build(&circuit, graph.clone(), SEED);
+        let mut scratch = DecoderScratch::new();
+        let mut correction = 0u32;
+        let mut mismatches = 0usize;
+        for (i, syndrome) in corpus.iter().enumerate() {
+            decoder.decode_into(&mut scratch, syndrome, &mut correction);
+            let fresh = decoder.predict(syndrome);
+            if correction != fresh {
+                mismatches += 1;
+                if mismatches <= 3 {
+                    eprintln!(
+                        "{kind}: syndrome #{i} (|s| = {}): reused scratch {correction:#x} != fresh {fresh:#x}",
+                        syndrome.len()
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            mismatches, 0,
+            "{kind}: {mismatches}/{SYNDROMES} corrections diverged between reused and fresh scratch"
+        );
+    }
+}
+
+#[test]
+fn scratch_survives_decoder_kind_interleaving() {
+    // The same scratch serves different decoder families back to back
+    // (as the hierarchical decoder's LUT-hit/MWPM-miss path does):
+    // every family must still match its own fresh-scratch output.
+    let hw = HardwareConfig::ibm();
+    let circuit =
+        CircuitNoiseModel::standard(2e-3, &hw).apply(&MemoryConfig::new(3, 4, &hw).build());
+    let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
+    let graph = DecodingGraph::from_dem(&dem);
+    let decoders: Vec<_> = [
+        DecoderKind::UnionFind,
+        DecoderKind::Mwpm,
+        DecoderKind::lut(),
+    ]
+    .iter()
+    .map(|k| k.build(&circuit, graph.clone(), SEED))
+    .collect();
+    let corpus = syndrome_corpus(&circuit, graph.num_detectors());
+    let mut scratch = DecoderScratch::new();
+    let mut correction = 0u32;
+    for (i, syndrome) in corpus.iter().take(300).enumerate() {
+        let decoder = &decoders[i % decoders.len()];
+        decoder.decode_into(&mut scratch, syndrome, &mut correction);
+        assert_eq!(
+            correction,
+            decoder.predict(syndrome),
+            "interleaved decode #{i} diverged"
+        );
+    }
+}

@@ -180,7 +180,7 @@ impl EvalPipelineBuilder {
     pub fn build(self) -> EvalPipeline {
         let circuit = self.build_circuit();
         let (dem, dem_stats) = DetectorErrorModel::from_circuit(&circuit, self.decompose_dem);
-        let graph = DecodingGraph::from_dem(&dem);
+        let graph = std::sync::Arc::new(DecodingGraph::from_dem(&dem));
         EvalPipeline {
             circuit,
             dem,
@@ -225,7 +225,7 @@ pub struct EvalPipeline {
     circuit: Circuit,
     dem: DetectorErrorModel,
     dem_stats: DemStats,
-    graph: DecodingGraph,
+    graph: std::sync::Arc<DecodingGraph>,
     kind: DecoderKind,
     decoder: std::sync::OnceLock<AnyDecoder>,
     decoder_seed: Option<u64>,
@@ -388,12 +388,13 @@ impl EvalPipeline {
     }
 
     /// Builds an additional decoder of `kind` over this pipeline's
-    /// graph (sampling-trained kinds train on this pipeline's circuit
-    /// with the configured decoder seed).
+    /// graph — shared by `Arc`, never deep-copied — (sampling-trained
+    /// kinds train on this pipeline's circuit with the configured
+    /// decoder seed).
     pub fn build_decoder(&self, kind: DecoderKind) -> AnyDecoder {
-        kind.build(
+        kind.build_shared(
             &self.circuit,
-            self.graph.clone(),
+            std::sync::Arc::clone(&self.graph),
             self.decoder_seed.unwrap_or(self.seed),
         )
     }

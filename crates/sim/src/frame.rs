@@ -38,18 +38,47 @@ impl FrameSimulator {
     ///
     /// Panics if `shots == 0`.
     pub fn new(num_qubits: u32, shots: usize, seed: u64) -> FrameSimulator {
-        assert!(shots > 0, "batch must contain at least one shot");
-        let words = shots.div_ceil(WORD_BITS);
-        let _ = num_qubits;
+        let mut sim = FrameSimulator::empty();
+        sim.reset(num_qubits, shots, seed);
+        sim
+    }
+
+    /// A simulator with no capacity; call
+    /// [`reset`](FrameSimulator::reset) before use. The starting point
+    /// for callers that keep one simulator per worker thread and reuse
+    /// its buffers across batches.
+    pub fn empty() -> FrameSimulator {
         FrameSimulator {
-            shots,
-            words,
-            xs: vec![0; num_qubits as usize * words],
-            zs: vec![0; num_qubits as usize * words],
+            shots: 0,
+            words: 0,
+            xs: Vec::new(),
+            zs: Vec::new(),
             records: Vec::new(),
             num_records: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(0),
         }
+    }
+
+    /// Re-arms the simulator for a fresh batch, reusing the frame and
+    /// record buffers: once they have grown to a circuit's working-set
+    /// size, steady-state batches allocate nothing here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    pub fn reset(&mut self, num_qubits: u32, shots: usize, seed: u64) {
+        assert!(shots > 0, "batch must contain at least one shot");
+        let words = shots.div_ceil(WORD_BITS);
+        let frame_words = num_qubits as usize * words;
+        self.shots = shots;
+        self.words = words;
+        self.xs.clear();
+        self.xs.resize(frame_words, 0);
+        self.zs.clear();
+        self.zs.resize(frame_words, 0);
+        self.records.clear();
+        self.num_records = 0;
+        self.rng = SmallRng::seed_from_u64(seed);
     }
 
     /// Number of shots in this batch.
@@ -299,6 +328,20 @@ pub struct SampleBatch {
 }
 
 impl SampleBatch {
+    /// An empty batch; filled by [`sample_batch_with`]. The starting
+    /// point for callers that keep one batch per worker thread and
+    /// reuse its rows across samples.
+    pub fn empty() -> SampleBatch {
+        SampleBatch {
+            shots: 0,
+            words: 0,
+            detectors: Vec::new(),
+            observables: Vec::new(),
+            num_detectors: 0,
+            num_observables: 0,
+        }
+    }
+
     /// Detector `d`'s value in shot `s`.
     #[inline]
     pub fn detector(&self, d: usize, s: usize) -> bool {
@@ -313,10 +356,22 @@ impl SampleBatch {
 
     /// The flagged (fired) detector indices of shot `s`, ascending.
     pub fn flagged_detectors(&self, s: usize) -> Vec<u32> {
-        (0..self.num_detectors)
-            .filter(|&d| self.detector(d, s))
-            .map(|d| d as u32)
-            .collect()
+        let mut out = Vec::new();
+        self.flagged_detectors_into(s, &mut out);
+        out
+    }
+
+    /// [`flagged_detectors`](SampleBatch::flagged_detectors) into a
+    /// reusable buffer (cleared first) — the per-shot syndrome
+    /// extraction of the decode hot loop, allocation-free once `out`
+    /// has grown to the heaviest syndrome seen.
+    pub fn flagged_detectors_into(&self, s: usize, out: &mut Vec<u32>) {
+        out.clear();
+        for d in 0..self.num_detectors {
+            if self.detector(d, s) {
+                out.push(d as u32);
+            }
+        }
     }
 
     /// Total number of shots in which detector `d` fired.
@@ -350,21 +405,50 @@ impl SampleBatch {
 ///
 /// Panics if `shots == 0`.
 pub fn sample_batch(circuit: &Circuit, shots: usize, seed: u64) -> SampleBatch {
-    let mut sim = FrameSimulator::new(circuit.num_qubits(), shots, seed);
+    let mut sim = FrameSimulator::empty();
+    let mut out = SampleBatch::empty();
+    sample_batch_with(circuit, shots, seed, &mut sim, &mut out);
+    out
+}
+
+/// [`sample_batch`] into caller-owned buffers: `sim` and `out` are
+/// reset and refilled, so a worker thread that keeps both across
+/// batches performs zero steady-state heap allocations per batch.
+/// Produces bit-identical samples to [`sample_batch`] for the same
+/// `(circuit, shots, seed)`.
+///
+/// # Panics
+///
+/// Panics if `shots == 0`.
+pub fn sample_batch_with(
+    circuit: &Circuit,
+    shots: usize,
+    seed: u64,
+    sim: &mut FrameSimulator,
+    out: &mut SampleBatch,
+) {
+    sim.reset(circuit.num_qubits(), shots, seed);
     sim.run(circuit);
     let words = sim.words;
     let num_detectors = circuit.num_detectors() as usize;
     let num_observables = circuit.num_observables() as usize;
-    let mut detectors = vec![0u64; num_detectors * words];
-    let mut observables = vec![0u64; num_observables * words];
+    out.shots = shots;
+    out.words = words;
+    out.num_detectors = num_detectors;
+    out.num_observables = num_observables;
+    out.detectors.clear();
+    out.detectors.resize(num_detectors * words, 0);
+    out.observables.clear();
+    out.observables.resize(num_observables * words, 0);
     let mut d = 0usize;
     for op in circuit.ops() {
         match op {
             Op::Detector { records, .. } => {
                 for r in records {
                     let row = sim.record_row(r.0 as usize);
-                    for w in 0..words {
-                        detectors[d * words + w] ^= row[w];
+                    let dst = &mut out.detectors[d * words..(d + 1) * words];
+                    for (dst, src) in dst.iter_mut().zip(row) {
+                        *dst ^= src;
                     }
                 }
                 d += 1;
@@ -376,21 +460,14 @@ pub fn sample_batch(circuit: &Circuit, shots: usize, seed: u64) -> SampleBatch {
                 let o = *observable as usize;
                 for r in records {
                     let row = sim.record_row(r.0 as usize);
-                    for w in 0..words {
-                        observables[o * words + w] ^= row[w];
+                    let dst = &mut out.observables[o * words..(o + 1) * words];
+                    for (dst, src) in dst.iter_mut().zip(row) {
+                        *dst ^= src;
                     }
                 }
             }
             _ => {}
         }
-    }
-    SampleBatch {
-        shots,
-        words,
-        detectors,
-        observables,
-        num_detectors,
-        num_observables,
     }
 }
 
@@ -595,6 +672,50 @@ mod tests {
         c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
         let b = sample_batch(&c, 70, 1);
         assert_eq!(b.count_detector_flips(0), 70);
+    }
+
+    #[test]
+    fn reused_buffers_sample_identically() {
+        // A worker reusing one simulator + batch across differently
+        // sized batches must reproduce the one-shot API bit for bit.
+        let mut big = Circuit::new(2);
+        big.push(Op::ResetZ(vec![0, 1]));
+        big.push(Op::Depolarize1 {
+            qubits: vec![0, 1],
+            p: 0.1,
+        });
+        big.push(Op::measure_z([0, 1], 0.0));
+        big.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        big.push(Op::detector([MeasRef(1)], DetectorBasis::Z));
+        let mut sim = FrameSimulator::empty();
+        let mut out = SampleBatch::empty();
+        for (shots, seed) in [(700usize, 3u64), (64, 9), (1000, 3), (70, 1)] {
+            sample_batch_with(&big, shots, seed, &mut sim, &mut out);
+            let fresh = sample_batch(&big, shots, seed);
+            assert_eq!(out.detectors, fresh.detectors);
+            assert_eq!(out.observables, fresh.observables);
+            assert_eq!(out.shots, fresh.shots);
+            assert_eq!(out.words, fresh.words);
+        }
+    }
+
+    #[test]
+    fn flagged_into_matches_allocating_path() {
+        let mut c = Circuit::new(2);
+        c.push(Op::ResetZ(vec![0, 1]));
+        c.push(Op::Depolarize1 {
+            qubits: vec![0, 1],
+            p: 0.2,
+        });
+        c.push(Op::measure_z([0, 1], 0.0));
+        c.push(Op::detector([MeasRef(0)], DetectorBasis::Z));
+        c.push(Op::detector([MeasRef(1)], DetectorBasis::Z));
+        let b = sample_batch(&c, 300, 12);
+        let mut buf = vec![99u32; 7]; // stale contents must be cleared
+        for s in 0..b.shots {
+            b.flagged_detectors_into(s, &mut buf);
+            assert_eq!(buf, b.flagged_detectors(s));
+        }
     }
 
     #[test]

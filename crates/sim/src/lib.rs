@@ -12,10 +12,13 @@
 //! * [`verify_deterministic`] — a tableau-based check that every
 //!   detector and observable of a circuit is deterministic under zero
 //!   noise (the validity condition Stim enforces).
-//! * [`parallel_batches`] / [`parallel_batches_indexed`] — a
-//!   deterministic multithreaded shot runner whose per-batch seeds are
-//!   derived from global batch indices, so a run can be streamed in
-//!   chunks without changing its results.
+//! * [`parallel_batches`] / [`parallel_batches_indexed`] /
+//!   [`parallel_batches_with`] — a deterministic multithreaded shot
+//!   runner whose per-batch seeds are derived from global batch
+//!   indices, so a run can be streamed in chunks without changing its
+//!   results; the `_with` variant gives every worker reusable
+//!   per-thread state (sampler buffers are always reused), making
+//!   steady-state batches allocation-free.
 //! * [`BinomialEstimate`] — logical-error-rate statistics.
 //! * [`RunningEstimate`] / [`StopRule`] — incremental estimate merging
 //!   and the stopping criteria behind run-until-confident evaluation.
@@ -46,7 +49,9 @@ mod reference;
 mod stats;
 
 pub use dem::{DemStats, DetectorErrorModel, Mechanism};
-pub use frame::{sample_batch, FrameSimulator, SampleBatch};
-pub use parallel::{batch_plan, parallel_batches, parallel_batches_indexed, BatchSpec};
+pub use frame::{sample_batch, sample_batch_with, FrameSimulator, SampleBatch};
+pub use parallel::{
+    batch_plan, parallel_batches, parallel_batches_indexed, parallel_batches_with, BatchSpec,
+};
 pub use reference::{run_reference, verify_deterministic, ReferenceRun};
 pub use stats::{BinomialEstimate, RunningEstimate, StopReason, StopRule};

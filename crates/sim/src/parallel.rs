@@ -1,6 +1,6 @@
 //! Deterministic multithreaded shot running.
 
-use crate::frame::{sample_batch, SampleBatch};
+use crate::frame::{sample_batch_with, FrameSimulator, SampleBatch};
 use ftqc_circuit::Circuit;
 
 /// SplitMix64 finalizer, used to derive independent per-batch seeds.
@@ -107,6 +107,40 @@ where
     R: Send,
     F: Fn(&SampleBatch) -> R + Sync,
 {
+    parallel_batches_with(circuit, batches, seed, threads, || (), |batch, ()| f(batch))
+}
+
+/// [`parallel_batches_indexed`] with per-thread worker state: every
+/// worker calls `init` once and threads the resulting state mutably
+/// through all the batches it claims.
+///
+/// This is the allocation seam of the decode hot loop: the sampler's
+/// frame/record buffers and the output [`SampleBatch`] are owned by the
+/// worker and reused across batches, and `init` lets callers attach
+/// their own reusable scratch (decoder workspaces, syndrome buffers) —
+/// so a steady-state batch costs zero heap allocations beyond what `f`
+/// itself returns.
+///
+/// Results are bit-identical to [`parallel_batches_indexed`]: batch
+/// seeds are derived from global indices alone, and state never affects
+/// sampling.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or any batch in the plan is empty.
+pub fn parallel_batches_with<R, S, I, F>(
+    circuit: &Circuit,
+    batches: &[BatchSpec],
+    seed: u64,
+    threads: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&SampleBatch, &mut S) -> R + Sync,
+{
     assert!(threads > 0);
     assert!(batches.iter().all(|&(_, size)| size > 0));
     let mut results: Vec<Option<R>> = Vec::with_capacity(batches.len());
@@ -118,19 +152,24 @@ where
     let slots = SlotWriter(results.as_mut_ptr());
     std::thread::scope(|scope| {
         for _ in 0..threads.min(batches.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) as usize;
-                if i >= batches.len() {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                let mut sim = FrameSimulator::empty();
+                let mut batch = SampleBatch::empty();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) as usize;
+                    if i >= batches.len() {
+                        break;
+                    }
+                    let (index, size) = batches[i];
+                    sample_batch_with(circuit, size, mix_seed(seed, index), &mut sim, &mut batch);
+                    let r = f(&batch, &mut state);
+                    // SAFETY: `i < batches.len()` (checked above) indexes
+                    // within the pre-sized vec, each position is claimed by
+                    // exactly one worker via `fetch_add`, and the scope
+                    // joins every worker before `results` is read again.
+                    unsafe { slots.write(i, r) };
                 }
-                let (index, size) = batches[i];
-                let batch = sample_batch(circuit, size, mix_seed(seed, index));
-                let r = f(&batch);
-                // SAFETY: `i < batches.len()` (checked above) indexes
-                // within the pre-sized vec, each position is claimed by
-                // exactly one worker via `fetch_add`, and the scope
-                // joins every worker before `results` is read again.
-                unsafe { slots.write(i, r) };
             });
         }
     });
@@ -227,6 +266,23 @@ mod tests {
             }));
         }
         assert_eq!(full, chunked);
+    }
+
+    #[test]
+    fn per_thread_state_reuses_and_matches_stateless_path() {
+        let c = noisy_circuit();
+        let plan = batch_plan(5_000, 512);
+        let stateless = parallel_batches_indexed(&c, &plan, 42, 4, |b| b.count_detector_flips(0));
+        // State: a reusable syndrome buffer, as the decode loop keeps.
+        let stateful = parallel_batches_with(&c, &plan, 42, 4, Vec::<u32>::new, |b, buf| {
+            let mut flips = 0u64;
+            for s in 0..b.shots {
+                b.flagged_detectors_into(s, buf);
+                flips += u64::from(buf.contains(&0));
+            }
+            flips
+        });
+        assert_eq!(stateless, stateful);
     }
 
     #[test]
