@@ -1,8 +1,8 @@
 //! End-to-end logical-error-rate evaluation.
 
-use crate::scratch::DecoderScratch;
+use crate::scratch::{DecoderScratch, ScratchCapacity};
 use ftqc_circuit::Circuit;
-use ftqc_sim::{batch_plan, parallel_batches_with, BatchSpec, BinomialEstimate};
+use ftqc_sim::{batch_plan, parallel_batches_with, BatchSpec, BinomialEstimate, SyndromeScanner};
 
 /// A syndrome decoder: maps the set of flagged detectors of one shot to
 /// a predicted logical-observable flip mask.
@@ -28,6 +28,17 @@ pub trait Decoder: Sync {
         self.decode_into(&mut scratch, flagged, &mut correction);
         correction
     }
+
+    /// Worst-case scratch sizes for any decode through this decoder, or
+    /// `None` when the decoder cannot bound them. Decoders that *can*
+    /// (the graph-based families: every buffer's bound is a closed-form
+    /// function of the decoding graph) let callers preallocate with
+    /// [`DecoderScratch::for_decoder`], making even the first decode
+    /// allocation-free — and debug builds panic if a decode ever
+    /// exceeds a declared bound.
+    fn scratch_capacity(&self) -> Option<ScratchCapacity> {
+        None
+    }
 }
 
 impl<D: Decoder + ?Sized> Decoder for &D {
@@ -37,6 +48,10 @@ impl<D: Decoder + ?Sized> Decoder for &D {
 
     fn predict(&self, flagged: &[u32]) -> u32 {
         (**self).predict(flagged)
+    }
+
+    fn scratch_capacity(&self) -> Option<ScratchCapacity> {
+        (**self).scratch_capacity()
     }
 }
 
@@ -91,11 +106,20 @@ pub fn evaluate_ler(
 /// whether a plan runs in one call or in chunks, at any thread count.
 ///
 /// The circuit is borrowed and every worker thread owns one reusable
-/// [`DecoderScratch`], syndrome buffer and sampler workspace for its
-/// whole lifetime — nothing circuit- or DEM-derived is cloned per
-/// batch, and a steady-state shot performs zero heap allocations (the
-/// only per-batch allocation is the returned count vector itself;
-/// asserted by the counting-allocator tests in `ftqc-bench`).
+/// [`DecoderScratch`], syndrome buffer, word-wise
+/// [`SyndromeScanner`](ftqc_sim::SyndromeScanner) and sampler
+/// workspace for its whole lifetime — nothing circuit- or DEM-derived
+/// is cloned per batch, and a steady-state shot performs zero heap
+/// allocations (the only per-batch allocation is the returned count
+/// vector itself; asserted by the counting-allocator tests in
+/// `ftqc-bench`).
+///
+/// Two per-shot fast paths, both bit-identity-tested: syndromes are
+/// extracted word-wise (64-shot block transpose + `trailing_zeros`
+/// scans) rather than by strided per-bit probes, and empty syndromes —
+/// the common case at low physical error rates — skip the decoder call
+/// entirely after one memoized decode of the empty syndrome per
+/// worker (decoders are deterministic, so the memo is exact).
 ///
 /// # Panics
 ///
@@ -113,13 +137,29 @@ pub fn count_batch_errors(
         batches,
         seed,
         threads,
-        || (DecoderScratch::new(), Vec::new()),
-        |batch, (scratch, syndrome)| {
+        || {
+            (
+                DecoderScratch::for_decoder(decoder),
+                Vec::new(),
+                SyndromeScanner::new(),
+                None::<u32>,
+            )
+        },
+        |batch, (scratch, syndrome, scanner, empty_pred)| {
             let mut errors = vec![0u64; num_obs];
             let mut predicted = 0u32;
+            scanner.begin_batch(batch);
             for s in 0..batch.shots {
-                batch.flagged_detectors_into(s, syndrome);
-                decoder.decode_into(scratch, syndrome, &mut predicted);
+                scanner.flagged_into(batch, s, syndrome);
+                if syndrome.is_empty() {
+                    predicted = *empty_pred.get_or_insert_with(|| {
+                        let mut p = 0u32;
+                        decoder.decode_into(scratch, &[], &mut p);
+                        p
+                    });
+                } else {
+                    decoder.decode_into(scratch, syndrome, &mut predicted);
+                }
                 for (o, err) in errors.iter_mut().enumerate() {
                     let actual = batch.observable(o, s);
                     let pred = (predicted >> o) & 1 == 1;
@@ -194,6 +234,50 @@ mod tests {
             l5 < l3,
             "distance 5 ({l5}) must beat distance 3 ({l3}) below threshold"
         );
+    }
+
+    #[test]
+    fn fast_paths_are_bit_identical_to_naive_decoding() {
+        // The word-wise syndrome extraction and the empty-syndrome skip
+        // must not change a single error count: recompute with the
+        // naive per-shot reference (strided per-bit extraction, decoder
+        // invoked on every shot including empty ones) over the same
+        // batch plan and require exact equality.
+        let c = memory_circuit(3, 1e-3); // low p: most syndromes empty
+        let (dem, _) = DetectorErrorModel::from_circuit(&c, true);
+        let decoder = MwpmDecoder::new(DecodingGraph::from_dem(&dem));
+        let plan = ftqc_sim::batch_plan(3_000, 512);
+        let seed = 17;
+        // Confirm the fast path is actually exercised: the shot stream
+        // contains both empty and non-empty syndromes.
+        let probe = ftqc_sim::sample_batch(&c, 512, seed);
+        let weights: Vec<usize> = (0..probe.shots).map(|s| probe.hamming_weight(s)).collect();
+        assert!(weights.contains(&0), "want empty syndromes");
+        assert!(weights.iter().any(|&w| w > 0), "want real syndromes");
+        let fast = count_batch_errors(&c, &decoder, &plan, seed, 2);
+        let num_obs = c.num_observables() as usize;
+        let naive = ftqc_sim::parallel_batches_with(
+            &c,
+            &plan,
+            seed,
+            1,
+            || (DecoderScratch::new(), Vec::new()),
+            |batch, (scratch, syndrome)| {
+                let mut errors = vec![0u64; num_obs];
+                let mut predicted = 0u32;
+                for s in 0..batch.shots {
+                    batch.flagged_detectors_into(s, syndrome);
+                    decoder.decode_into(scratch, syndrome, &mut predicted);
+                    for (o, err) in errors.iter_mut().enumerate() {
+                        if batch.observable(o, s) != ((predicted >> o) & 1 == 1) {
+                            *err += 1;
+                        }
+                    }
+                }
+                errors
+            },
+        );
+        assert_eq!(fast, naive, "fast paths diverged from the naive loop");
     }
 
     #[test]

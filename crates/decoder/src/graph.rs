@@ -1,10 +1,35 @@
-//! The matching (decoding) graph.
+//! The matching (decoding) graph, stored flat.
+//!
+//! The graph is built once per detector error model and then consumed
+//! by every decode of every decoder family, so its layout *is* the
+//! decode working set. Everything hot lives in flat, u32-indexed
+//! arrays sized exactly from the graph:
+//!
+//! * adjacency is CSR (one offset array + one flat entry array of
+//!   8-byte [`AdjEntry`] records, neighbor pre-resolved — no jagged
+//!   `Vec<Vec<u32>>`, no per-node heap blocks);
+//! * per-edge hot fields are packed 24-byte [`EdgeRecord`]s (endpoints
+//!   as plain sentinel-coded u32s, weight, observable mask), separate
+//!   from the cold [`GraphEdge`] records that keep probabilities for
+//!   inspection and tests;
+//! * the Dijkstra workspace is an arena-backed *indexed* binary heap
+//!   ([`DijkstraScratch`]) whose size is bounded by `nodes + 1` by
+//!   construction — no lazy-deletion duplicates, no unbounded
+//!   `BinaryHeap`.
 
 use ftqc_sim::DetectorErrorModel;
 use std::collections::HashMap;
 
+/// Sentinel node index: "no node". Terminates intrusive lists and
+/// encodes the virtual boundary endpoint in packed records.
+pub const NO_NODE: u32 = u32::MAX;
+
 /// An edge of the decoding graph: an independent error mechanism
 /// connecting two detectors, or one detector and the boundary.
+///
+/// This is the *cold* canonical record (kept for construction,
+/// inspection and tests); hot loops read the packed [`EdgeRecord`]
+/// array instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphEdge {
     /// First detector.
@@ -17,6 +42,35 @@ pub struct GraphEdge {
     pub weight: f64,
     /// Logical observables flipped when this edge is in the correction.
     pub observables: u32,
+}
+
+/// Packed hot-path edge record: 24 bytes, index-parallel to
+/// [`DecodingGraph::edges`]. The boundary endpoint is [`NO_NODE`]
+/// rather than an `Option`, so traversal is branch-light and the
+/// record has no niche-layout surprises.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRecord {
+    /// Log-likelihood weight (identical bits to the cold record).
+    pub weight: f64,
+    /// First detector.
+    pub u: u32,
+    /// Second detector, or [`NO_NODE`] for a boundary edge.
+    pub v: u32,
+    /// Logical observables flipped by this edge.
+    pub observables: u32,
+}
+
+/// One CSR adjacency entry: 8 bytes. The far endpoint is pre-resolved
+/// at build time, so traversals never branch on which end of the edge
+/// record is "us".
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdjEntry {
+    /// Index into [`DecodingGraph::edges`] / [`DecodingGraph::records`].
+    pub edge: u32,
+    /// The other endpoint, or [`NO_NODE`] for a boundary edge.
+    pub to: u32,
 }
 
 /// The decoding graph of a detector error model.
@@ -34,8 +88,13 @@ pub struct GraphEdge {
 pub struct DecodingGraph {
     num_detectors: u32,
     edges: Vec<GraphEdge>,
-    /// node -> indices into `edges` (boundary edges listed under `u`).
-    adj: Vec<Vec<u32>>,
+    /// Packed hot records, index-parallel to `edges`.
+    rec: Vec<EdgeRecord>,
+    /// CSR offsets: node `n`'s entries are `adj[adj_off[n]..adj_off[n + 1]]`
+    /// (boundary edges listed under `u` only, as before).
+    adj_off: Vec<u32>,
+    /// Flat CSR adjacency entries, ascending edge index per node.
+    adj: Vec<AdjEntry>,
     /// Mechanisms that were not graphlike and had to be dropped.
     dropped: usize,
 }
@@ -76,16 +135,50 @@ impl DecodingGraph {
             })
             .collect();
         edges.sort_by_key(|e| (e.u, e.v, e.observables));
-        let mut adj = vec![Vec::new(); n as usize];
-        for (i, e) in edges.iter().enumerate() {
-            adj[e.u as usize].push(i as u32);
+        // Packed hot records (bit-identical weights: plain copies).
+        let rec: Vec<EdgeRecord> = edges
+            .iter()
+            .map(|e| EdgeRecord {
+                weight: e.weight,
+                u: e.u,
+                v: e.v.unwrap_or(NO_NODE),
+                observables: e.observables,
+            })
+            .collect();
+        // CSR adjacency: count, prefix-sum, scatter. Scattering in
+        // ascending edge order keeps each node's entries in ascending
+        // edge index — the same traversal order the jagged layout had.
+        let mut adj_off = vec![0u32; n as usize + 1];
+        for e in &edges {
+            adj_off[e.u as usize + 1] += 1;
             if let Some(v) = e.v {
-                adj[v as usize].push(i as u32);
+                adj_off[v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n as usize {
+            adj_off[i + 1] += adj_off[i];
+        }
+        let mut cursor: Vec<u32> = adj_off[..n as usize].to_vec();
+        let mut adj = vec![AdjEntry { edge: 0, to: 0 }; adj_off[n as usize] as usize];
+        for (i, e) in edges.iter().enumerate() {
+            adj[cursor[e.u as usize] as usize] = AdjEntry {
+                edge: i as u32,
+                to: e.v.unwrap_or(NO_NODE),
+            };
+            cursor[e.u as usize] += 1;
+            if let Some(v) = e.v {
+                adj[cursor[v as usize] as usize] = AdjEntry {
+                    edge: i as u32,
+                    to: e.u,
+                };
+                cursor[v as usize] += 1;
             }
         }
         DecodingGraph {
             num_detectors: n,
             edges,
+            rec,
+            adj_off,
             adj,
             dropped,
         }
@@ -96,14 +189,23 @@ impl DecodingGraph {
         self.num_detectors
     }
 
-    /// All edges.
+    /// All edges (cold canonical records).
     pub fn edges(&self) -> &[GraphEdge] {
         &self.edges
     }
 
-    /// Edge indices incident to detector `node`.
-    pub fn incident(&self, node: u32) -> &[u32] {
-        &self.adj[node as usize]
+    /// Packed hot-path edge records, index-parallel to
+    /// [`edges`](DecodingGraph::edges).
+    #[inline]
+    pub fn records(&self) -> &[EdgeRecord] {
+        &self.rec
+    }
+
+    /// CSR adjacency entries of detector `node` (boundary edges appear
+    /// under their detector endpoint), in ascending edge index.
+    #[inline]
+    pub fn neighbors(&self, node: u32) -> &[AdjEntry] {
+        &self.adj[self.adj_off[node as usize] as usize..self.adj_off[node as usize + 1] as usize]
     }
 
     /// Mechanisms dropped for not being graphlike.
@@ -131,29 +233,20 @@ impl DecodingGraph {
     }
 
     /// [`DecodingGraph::dijkstra_to`] into a reusable workspace —
-    /// allocation-free once the workspace has grown to the graph's
-    /// size. Results land in [`DijkstraScratch::dist`] /
-    /// [`DijkstraScratch::mask`] and are bit-identical to the
-    /// allocating variant.
+    /// allocation-free once the workspace is sized to the graph (which
+    /// [`DijkstraScratch::bound`] does up front). Results land in
+    /// [`DijkstraScratch::dist`] / [`DijkstraScratch::mask`] and are
+    /// bit-identical to the allocating variant: nodes settle strictly
+    /// in `(distance, node index)` order regardless of heap layout.
     pub fn dijkstra_to_with(&self, source: u32, targets: &[u32], scratch: &mut DijkstraScratch) {
         let n = self.num_detectors as usize + 1; // + boundary
         let boundary = self.num_detectors;
-        let dist = &mut scratch.dist;
-        let mask = &mut scratch.mask;
-        let heap = &mut scratch.heap;
-        dist.clear();
-        dist.resize(n, f64::INFINITY);
-        mask.clear();
-        mask.resize(n, 0);
-        heap.clear();
+        scratch.reset(n);
         let mut remaining: usize =
             targets.iter().filter(|&&t| t != source).count() + usize::from(!targets.is_empty()); // + the boundary
-        dist[source as usize] = 0.0;
-        heap.push(HeapItem(0.0, source));
-        while let Some(HeapItem(d, u)) = heap.pop() {
-            if d > dist[u as usize] {
-                continue;
-            }
+        scratch.dist[source as usize] = 0.0;
+        scratch.heap_push(source);
+        while let Some(u) = scratch.heap_pop() {
             if !targets.is_empty() && u != source && (u == boundary || targets.contains(&u)) {
                 remaining -= 1;
                 if remaining == 0 {
@@ -163,65 +256,81 @@ impl DecodingGraph {
             if u == boundary {
                 continue; // do not route through the boundary
             }
-            for &ei in self.incident(u) {
-                let e = &self.edges[ei as usize];
-                let v = match e.v {
-                    None => boundary,
-                    Some(v) if v == u => e.u,
-                    Some(v) => {
-                        if e.u == u {
-                            v
-                        } else {
-                            e.u
-                        }
-                    }
-                };
-                let nd = d + e.weight;
-                if nd < dist[v as usize] {
-                    dist[v as usize] = nd;
-                    mask[v as usize] = mask[u as usize] ^ e.observables;
-                    heap.push(HeapItem(nd, v));
+            let d = scratch.dist[u as usize];
+            let from_mask = scratch.mask[u as usize];
+            for &AdjEntry { edge, to } in self.neighbors(u) {
+                let r = &self.rec[edge as usize];
+                let v = if to == NO_NODE { boundary } else { to };
+                let nd = d + r.weight;
+                if nd < scratch.dist[v as usize] {
+                    scratch.dist[v as usize] = nd;
+                    scratch.mask[v as usize] = from_mask ^ r.observables;
+                    scratch.heap_relax(v);
                 }
             }
         }
     }
 }
 
-/// `(distance, node)` min-heap entry of the Dijkstra searches.
-#[derive(PartialEq)]
-pub(crate) struct HeapItem(pub(crate) f64, pub(crate) u32);
+/// Heap-position sentinel: node not yet reached.
+const UNREACHED: u32 = u32::MAX;
+/// Heap-position sentinel: node settled (popped).
+const SETTLED: u32 = u32::MAX - 1;
 
-impl Eq for HeapItem {}
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap on distance.
-        other
-            .0
-            .partial_cmp(&self.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    }
-}
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Reusable workspace of [`DecodingGraph::dijkstra_to_with`]: the
-/// distance/mask rows and the search heap, retained across calls so
-/// repeated searches (one per defect per matched syndrome) stop
-/// allocating once warm.
-#[derive(Default)]
+/// Reusable Dijkstra workspace: distance/mask rows plus an *indexed*
+/// binary min-heap held in two flat u32 arenas (`heap` = node ids,
+/// `pos` = each node's heap slot). Decrease-key updates in place, so
+/// the heap never holds stale duplicates and its size is bounded by
+/// `nodes + 1` — the whole workspace is capacity-bounded by the graph,
+/// which [`DijkstraScratch::bound`] exploits to preallocate exactly.
+///
+/// The heap orders nodes by `(dist, node index)`, making the settle
+/// order — and therefore every distance and shortest-path observable
+/// mask — a pure function of the graph.
 pub struct DijkstraScratch {
     pub(crate) dist: Vec<f64>,
     pub(crate) mask: Vec<u32>,
-    pub(crate) heap: std::collections::BinaryHeap<HeapItem>,
+    heap: Vec<u32>,
+    pos: Vec<u32>,
+    /// Debug-asserted size bound (`nodes + 1`), set by
+    /// [`bound`](DijkstraScratch::bound); `u32::MAX` = unbounded.
+    bound_n: u32,
+}
+
+impl Default for DijkstraScratch {
+    fn default() -> DijkstraScratch {
+        DijkstraScratch {
+            dist: Vec::new(),
+            mask: Vec::new(),
+            heap: Vec::new(),
+            pos: Vec::new(),
+            bound_n: u32::MAX,
+        }
+    }
 }
 
 impl DijkstraScratch {
     /// An empty workspace; buffers grow on first use.
     pub fn new() -> DijkstraScratch {
         DijkstraScratch::default()
+    }
+
+    /// Preallocates every buffer for searches over `graph` and records
+    /// the bound: subsequent searches on any graph of at most this size
+    /// allocate nothing, and debug builds panic if a larger graph is
+    /// searched through this workspace.
+    pub fn bound(&mut self, graph: &DecodingGraph) {
+        self.bound_nodes(graph.num_detectors() as usize + 1);
+    }
+
+    /// [`bound`](DijkstraScratch::bound) for a known search size `n`
+    /// (detectors + 1 for the boundary).
+    pub(crate) fn bound_nodes(&mut self, n: usize) {
+        self.dist.reserve(n.saturating_sub(self.dist.len()));
+        self.mask.reserve(n.saturating_sub(self.mask.len()));
+        self.heap.reserve(n.saturating_sub(self.heap.len()));
+        self.pos.reserve(n.saturating_sub(self.pos.len()));
+        self.bound_n = n as u32;
     }
 
     /// Distances of the last search (`f64::INFINITY` = unreachable);
@@ -233,6 +342,93 @@ impl DijkstraScratch {
     /// Observable masks along the last search's shortest paths.
     pub fn mask(&self) -> &[u32] {
         &self.mask
+    }
+
+    fn reset(&mut self, n: usize) {
+        debug_assert!(
+            self.bound_n == u32::MAX || n <= self.bound_n as usize,
+            "DijkstraScratch bound overflow: search over {n} nodes through a workspace \
+             bounded to {} (was the scratch built for a smaller graph?)",
+            self.bound_n
+        );
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.mask.clear();
+        self.mask.resize(n, 0);
+        self.pos.clear();
+        self.pos.resize(n, UNREACHED);
+        self.heap.clear();
+    }
+
+    /// `true` if `a` settles before `b`: strictly smaller distance,
+    /// ties broken by node index.
+    #[inline]
+    fn before(&self, a: u32, b: u32) -> bool {
+        let (da, db) = (self.dist[a as usize], self.dist[b as usize]);
+        da < db || (da == db && a < b)
+    }
+
+    fn heap_push(&mut self, node: u32) {
+        self.pos[node as usize] = self.heap.len() as u32;
+        self.heap.push(node);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Push if unreached, decrease-key if already queued. Must only be
+    /// called after improving `dist[node]` (a settled node can never
+    /// improve under non-negative weights).
+    fn heap_relax(&mut self, node: u32) {
+        match self.pos[node as usize] {
+            UNREACHED => self.heap_push(node),
+            SETTLED => debug_assert!(false, "relaxed a settled node"),
+            slot => self.sift_up(slot as usize),
+        }
+    }
+
+    fn heap_pop(&mut self) -> Option<u32> {
+        let root = *self.heap.first()?;
+        self.pos[root as usize] = SETTLED;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some(root)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.before(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                self.pos[self.heap[i] as usize] = i as u32;
+                self.pos[self.heap[parent] as usize] = parent as u32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && self.before(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.before(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap.swap(i, best);
+            self.pos[self.heap[i] as usize] = i as u32;
+            self.pos[self.heap[best] as usize] = best as u32;
+            i = best;
+        }
     }
 }
 
@@ -293,6 +489,48 @@ mod tests {
     }
 
     #[test]
+    fn csr_matches_cold_records() {
+        // Every CSR entry agrees with the canonical edge list, every
+        // packed record mirrors its cold record bit for bit, and each
+        // node's entries come back in ascending edge index.
+        let g = chain_graph();
+        assert_eq!(g.records().len(), g.edges().len());
+        for (r, e) in g.records().iter().zip(g.edges()) {
+            assert_eq!(r.u, e.u);
+            assert_eq!(r.v, e.v.unwrap_or(NO_NODE));
+            assert_eq!(r.weight.to_bits(), e.weight.to_bits());
+            assert_eq!(r.observables, e.observables);
+        }
+        let mut seen = 0usize;
+        for node in 0..g.num_detectors() {
+            let entries = g.neighbors(node);
+            seen += entries.len();
+            for pair in entries.windows(2) {
+                assert!(pair[0].edge < pair[1].edge, "ascending edge order");
+            }
+            for entry in entries {
+                let e = &g.edges()[entry.edge as usize];
+                let expect_to = if e.u == node {
+                    e.v.unwrap_or(NO_NODE)
+                } else {
+                    assert_eq!(e.v, Some(node));
+                    e.u
+                };
+                assert_eq!(entry.to, expect_to);
+            }
+        }
+        // Each internal edge appears twice, each boundary edge once.
+        let internal = g.edges().iter().filter(|e| e.v.is_some()).count();
+        assert_eq!(seen, 2 * internal + (g.edges().len() - internal));
+    }
+
+    #[test]
+    fn packed_layout_is_dense() {
+        assert_eq!(std::mem::size_of::<AdjEntry>(), 8);
+        assert_eq!(std::mem::size_of::<EdgeRecord>(), 24);
+    }
+
+    #[test]
     fn observable_rides_on_the_right_edge() {
         let g = chain_graph();
         // Only the data-0 mechanism (boundary edge of detector 0) flips
@@ -320,6 +558,25 @@ mod tests {
         // observable.
         assert!((dist[3] - w).abs() < 1e-9);
         assert_eq!(mask[3], 1);
+    }
+
+    #[test]
+    fn bounded_scratch_searches_without_growing() {
+        let g = chain_graph();
+        let mut scratch = DijkstraScratch::new();
+        scratch.bound(&g);
+        let caps = (scratch.dist.capacity(), scratch.heap.capacity());
+        for source in 0..g.num_detectors() {
+            g.dijkstra_to_with(source, &[], &mut scratch);
+        }
+        assert_eq!(
+            caps,
+            (scratch.dist.capacity(), scratch.heap.capacity()),
+            "bounded workspace must never grow"
+        );
+        let (dist, mask) = g.dijkstra(2);
+        assert_eq!(scratch.dist(), &dist[..]);
+        assert_eq!(scratch.mask(), &mask[..]);
     }
 
     #[test]

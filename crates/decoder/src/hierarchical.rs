@@ -3,7 +3,7 @@
 use crate::evaluate::Decoder;
 use crate::lut::LutDecoder;
 use crate::mwpm::MwpmDecoder;
-use crate::scratch::DecoderScratch;
+use crate::scratch::{DecoderScratch, ScratchCapacity};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Mutex;
@@ -149,6 +149,12 @@ impl HierarchicalDecoder {
 impl Decoder for HierarchicalDecoder {
     fn decode_into(&self, scratch: &mut DecoderScratch, syndrome: &[u32], correction: &mut u32) {
         *correction = self.decode_timed_with(scratch, syndrome).prediction;
+    }
+
+    /// The LUT front end never touches the scratch, so the bound is the
+    /// miss path's: the backing matcher's capacity.
+    fn scratch_capacity(&self) -> Option<ScratchCapacity> {
+        self.mwpm.scratch_capacity()
     }
 }
 

@@ -239,6 +239,15 @@ impl Decoder for AnyDecoder {
             AnyDecoder::Hierarchical(d) => d.predict(flagged),
         }
     }
+
+    fn scratch_capacity(&self) -> Option<crate::ScratchCapacity> {
+        match self {
+            AnyDecoder::UnionFind(d) => d.scratch_capacity(),
+            AnyDecoder::Mwpm(d) => d.scratch_capacity(),
+            AnyDecoder::Lut(d) => d.scratch_capacity(),
+            AnyDecoder::Hierarchical(d) => d.scratch_capacity(),
+        }
+    }
 }
 
 #[cfg(test)]

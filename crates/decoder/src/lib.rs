@@ -58,10 +58,10 @@ mod scratch;
 mod union_find;
 
 pub use evaluate::{count_batch_errors, evaluate_ler, Decoder};
-pub use graph::{DecodingGraph, DijkstraScratch, GraphEdge};
+pub use graph::{AdjEntry, DecodingGraph, DijkstraScratch, EdgeRecord, GraphEdge, NO_NODE};
 pub use hierarchical::{HierarchicalDecoder, LatencyModel, TimedDecode};
 pub use kind::{AnyDecoder, DecoderKind};
 pub use lut::LutDecoder;
 pub use mwpm::MwpmDecoder;
-pub use scratch::DecoderScratch;
+pub use scratch::{DecoderScratch, ScratchCapacity};
 pub use union_find::UfDecoder;

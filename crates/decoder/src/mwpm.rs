@@ -2,7 +2,7 @@
 
 use crate::evaluate::Decoder;
 use crate::graph::DecodingGraph;
-use crate::scratch::{DecoderScratch, MatchScratch};
+use crate::scratch::{DecoderScratch, MatchScratch, ScratchCapacity};
 use crate::union_find::UfDecoder;
 use std::sync::Arc;
 /// A minimum-weight perfect-matching decoder (the role PyMatching plays
@@ -77,6 +77,12 @@ impl MwpmDecoder {
     /// bit-identical to the historically allocating formulation.
     fn match_exact(&self, s: &mut MatchScratch, flagged: &[u32]) -> u32 {
         let k = flagged.len();
+        debug_assert!(
+            s.bound_k == u32::MAX || k <= s.bound_k as usize,
+            "MatchScratch bound overflow: {k} defects through a workspace bounded to {} \
+             (was the scratch built for a smaller exact limit?)",
+            s.bound_k
+        );
         let boundary = self.graph.num_detectors() as usize;
         // Pairwise distances and boundary distances with observable
         // masks along shortest paths.
@@ -156,37 +162,48 @@ impl Decoder for MwpmDecoder {
         }
         *correction = self.match_exact(&mut scratch.matching, syndrome);
     }
+
+    fn scratch_capacity(&self) -> Option<ScratchCapacity> {
+        Some(ScratchCapacity::for_graph(
+            &self.graph,
+            self.exact_limit as u32,
+        ))
+    }
 }
 
-/// Brute-force minimum-weight matching over explicit distances, used by
-/// tests to validate the DP.
+/// Flat upper-triangular index of the unordered defect pair `(i, j)`
+/// among `k` defects — the same "no map, just math" layout the arena
+/// core uses, exposed for the brute-force test reference.
 #[cfg(test)]
-pub fn brute_force_matching(
-    k: usize,
-    pair_d: &std::collections::HashMap<(usize, usize), f64>,
-    bdry_d: &[f64],
-) -> f64 {
-    use std::collections::HashMap;
-    fn rec(remaining: &[usize], pair_d: &HashMap<(usize, usize), f64>, bdry_d: &[f64]) -> f64 {
+pub fn tri_index(k: usize, i: usize, j: usize) -> usize {
+    let (lo, hi) = (i.min(j), i.max(j));
+    debug_assert!(lo < hi && hi < k);
+    lo * (2 * k - lo - 1) / 2 + (hi - lo - 1)
+}
+
+/// Brute-force minimum-weight matching over explicit distances (a flat
+/// triangular `pair_d`, indexed by [`tri_index`]), used by tests to
+/// validate the DP.
+#[cfg(test)]
+pub fn brute_force_matching(k: usize, pair_d: &[f64], bdry_d: &[f64]) -> f64 {
+    assert_eq!(pair_d.len(), k * k.saturating_sub(1) / 2);
+    fn rec(k: usize, remaining: &[usize], pair_d: &[f64], bdry_d: &[f64]) -> f64 {
         let Some(&i) = remaining.first() else {
             return 0.0;
         };
         let rest = &remaining[1..];
         // Boundary.
-        let mut best = bdry_d[i] + rec(rest, pair_d, bdry_d);
+        let mut best = bdry_d[i] + rec(k, rest, pair_d, bdry_d);
         for (idx, &j) in rest.iter().enumerate() {
             let mut r = rest.to_vec();
             r.remove(idx);
-            let d = pair_d
-                .get(&(i.min(j), i.max(j)))
-                .copied()
-                .unwrap_or(f64::INFINITY);
-            best = best.min(d + rec(&r, pair_d, bdry_d));
+            let d = pair_d[tri_index(k, i, j)];
+            best = best.min(d + rec(k, &r, pair_d, bdry_d));
         }
         best
     }
     let all: Vec<usize> = (0..k).collect();
-    rec(&all, pair_d, bdry_d)
+    rec(k, &all, pair_d, bdry_d)
 }
 
 #[cfg(test)]
@@ -194,7 +211,6 @@ mod tests {
     use super::*;
     use ftqc_circuit::{Circuit, DetectorBasis, MeasRef, Op};
     use ftqc_sim::DetectorErrorModel;
-    use std::collections::HashMap;
 
     fn chain_graph(n_checks: u32, p: f64) -> DecodingGraph {
         let n_data = n_checks + 1;
@@ -247,18 +263,19 @@ mod tests {
             if flagged.is_empty() {
                 continue;
             }
-            // Distances for the brute force reference.
+            // Distances for the brute force reference (flat triangle).
             let boundary = g.num_detectors() as usize;
-            let mut pair_d = HashMap::new();
-            let mut bdry_d = vec![0.0; flagged.len()];
+            let k = flagged.len();
+            let mut pair_d = vec![f64::INFINITY; k * (k - 1) / 2];
+            let mut bdry_d = vec![0.0; k];
             for (i, &f) in flagged.iter().enumerate() {
                 let (dist, _) = g.dijkstra(f);
                 for (j, &h) in flagged.iter().enumerate().skip(i + 1) {
-                    pair_d.insert((i, j), dist[h as usize]);
+                    pair_d[tri_index(k, i, j)] = dist[h as usize];
                 }
                 bdry_d[i] = dist[boundary];
             }
-            let brute = brute_force_matching(flagged.len(), &pair_d, &bdry_d);
+            let brute = brute_force_matching(k, &pair_d, &bdry_d);
             // Recompute the DP cost by re-running match_exact's inner
             // logic through the public API: predictions must agree on
             // observable parity whenever costs are unique; at minimum
@@ -284,6 +301,29 @@ mod tests {
                 assert_eq!(d.predict(&[i]), expect, "defect {i}");
             }
         }
+    }
+
+    #[test]
+    fn tri_index_is_a_bijection_onto_the_triangle() {
+        let k = 7;
+        let mut seen = vec![false; k * (k - 1) / 2];
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let idx = tri_index(k, i, j);
+                assert_eq!(idx, tri_index(k, j, i), "order-insensitive");
+                assert!(!seen[idx], "collision at ({i},{j})");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "surjective");
+    }
+
+    #[test]
+    fn declares_capacity_with_its_exact_limit() {
+        let d = MwpmDecoder::new(chain_graph(4, 0.01)).with_exact_limit(6);
+        let cap = d.scratch_capacity().expect("mwpm declares its bound");
+        assert_eq!(cap.nodes, d.graph().num_detectors());
+        assert_eq!(cap.exact_limit, 6);
     }
 
     #[test]

@@ -1,15 +1,25 @@
 //! Reusable decoder workspaces: the allocation seam of the decode hot
-//! loop.
+//! loop, laid out as flat u32 arenas.
 //!
 //! Every decoder family works out of a [`DecoderScratch`] via
 //! [`Decoder::decode_into`](crate::Decoder::decode_into): the
-//! union-find cluster/peeling buffers, the matcher's Dijkstra rows and
+//! union-find cluster/peeling arenas, the matcher's Dijkstra rows and
 //! subset-DP tables, and the hierarchical front end's fallback all
 //! live here instead of being allocated per shot. A worker thread
 //! keeps one scratch for its lifetime (see
 //! [`count_batch_errors`](crate::count_batch_errors)), so a
 //! steady-state decode performs **zero heap allocations** — asserted
 //! by the counting-allocator tests in `ftqc-bench`.
+//!
+//! Since the index-arena refactor the workspace is also
+//! *capacity-bounded by construction*: every buffer's worst-case size
+//! is a closed-form function of the decoding graph
+//! ([`ScratchCapacity`]), [`DecoderScratch::for_decoder`] preallocates
+//! to that bound up front, and debug builds panic if a decode ever
+//! exceeds a declared bound. Node state is packed into 8-byte
+//! ([`UfNode`]) and 16-byte (`UfRoot`) records with single-byte mark
+//! flags, so the working set at large distance is a handful of dense
+//! arrays instead of pointer-chased per-node structures.
 //!
 //! Ownership rules:
 //!
@@ -18,18 +28,67 @@
 //! * Scratches are decoder-agnostic: the same scratch can serve a
 //!   union-find decode on one shot and an MWPM decode on the next
 //!   (the hierarchical decoder relies on this for its miss path).
+//!   A *bounded* scratch is agnostic within its declared capacity.
 //! * Buffers only ever grow; dropping the scratch is the only way
-//!   memory is returned. Size is bounded by the largest graph and
-//!   heaviest syndrome decoded through it.
+//!   memory is returned. Size is bounded by the declared capacity, or
+//!   by the largest graph and heaviest syndrome decoded through an
+//!   unbounded scratch.
 //! * Contents between calls are unspecified — every decode re-seeds
 //!   what it reads; results are bit-identical to a fresh scratch.
 
-use crate::graph::DijkstraScratch;
-use std::collections::VecDeque;
+use crate::evaluate::Decoder;
+use crate::graph::{DecodingGraph, DijkstraScratch, NO_NODE};
+
+/// Worst-case workspace sizes for decoding through a given graph, the
+/// contract behind "allocation-free by construction": every scratch
+/// buffer's bound is a closed-form function of these three numbers.
+///
+/// Obtain one from a decoder via
+/// [`Decoder::scratch_capacity`](crate::Decoder::scratch_capacity) and
+/// preallocate with [`DecoderScratch::with_capacity`] /
+/// [`DecoderScratch::for_decoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchCapacity {
+    /// Detector nodes of the decoding graph.
+    pub nodes: u32,
+    /// Edges of the decoding graph.
+    pub edges: u32,
+    /// Largest defect count the exact matcher handles (`0` for
+    /// decoders that never run the subset DP).
+    pub exact_limit: u32,
+}
+
+impl ScratchCapacity {
+    /// The capacity needed to decode any syndrome over `graph` with an
+    /// exact-matching cutoff of `exact_limit` defects.
+    pub fn for_graph(graph: &DecodingGraph, exact_limit: u32) -> ScratchCapacity {
+        ScratchCapacity {
+            nodes: graph.num_detectors(),
+            edges: graph.edges().len() as u32,
+            exact_limit,
+        }
+    }
+
+    /// The element-wise maximum of two capacities: sufficient for any
+    /// decode either input was sufficient for.
+    pub fn max(self, other: ScratchCapacity) -> ScratchCapacity {
+        ScratchCapacity {
+            nodes: self.nodes.max(other.nodes),
+            edges: self.edges.max(other.edges),
+            exact_limit: self.exact_limit.max(other.exact_limit),
+        }
+    }
+}
+
+/// Grows `v`'s capacity to hold at least `n` elements without changing
+/// its contents (a `reserve` relative to length, saturating).
+fn reserve_to<T>(v: &mut Vec<T>, n: usize) {
+    v.reserve(n.saturating_sub(v.len()));
+}
 
 /// Reusable workspace for [`Decoder::decode_into`] (the module-level
 /// comment in `scratch.rs` spells out the ownership rules; DESIGN.md
-/// "Performance model & bench harness" documents them for users).
+/// "Arena decoder core" documents the layout and capacity model).
 ///
 /// [`Decoder::decode_into`]: crate::Decoder::decode_into
 ///
@@ -46,7 +105,9 @@ use std::collections::VecDeque;
 ///     .apply(&MemoryConfig::new(3, 4, &hw).build());
 /// let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
 /// let decoder = UfDecoder::new(DecodingGraph::from_dem(&dem));
-/// let mut scratch = DecoderScratch::new();
+/// // Preallocated to the graph-derived bound: even the *first* decode
+/// // through this scratch touches the heap zero times.
+/// let mut scratch = DecoderScratch::for_decoder(&decoder);
 /// let mut correction = 0u32;
 /// for syndrome in [vec![], vec![0, 1], vec![3]] {
 ///     decoder.decode_into(&mut scratch, &syndrome, &mut correction);
@@ -60,110 +121,224 @@ pub struct DecoderScratch {
 }
 
 impl DecoderScratch {
-    /// An empty workspace; buffers grow on first use and are retained
-    /// across decodes.
+    /// An empty, unbounded workspace; buffers grow on first use and are
+    /// retained across decodes.
     pub fn new() -> DecoderScratch {
         DecoderScratch::default()
     }
+
+    /// A workspace preallocated to `cap`: every decode within the
+    /// capacity is allocation-free from the first shot, and debug
+    /// builds panic if a decode exceeds the bound.
+    pub fn with_capacity(cap: ScratchCapacity) -> DecoderScratch {
+        let mut scratch = DecoderScratch::new();
+        scratch.uf.bound(cap);
+        scratch.matching.bound(cap);
+        scratch
+    }
+
+    /// [`with_capacity`](DecoderScratch::with_capacity) sized from the
+    /// decoder's own declared bound
+    /// ([`Decoder::scratch_capacity`](crate::Decoder::scratch_capacity));
+    /// decoders that declare no bound get a plain unbounded workspace.
+    pub fn for_decoder<D: Decoder + ?Sized>(decoder: &D) -> DecoderScratch {
+        match decoder.scratch_capacity() {
+            Some(cap) => DecoderScratch::with_capacity(cap),
+            None => DecoderScratch::new(),
+        }
+    }
 }
 
-/// Union-find buffers: the DSU arrays (cluster membership is an
-/// intrusive linked list, so merges never touch the heap), the growth
-/// frontier, and the peeling pass's BFS state.
-#[derive(Default)]
+/// Packed per-node DSU record (8 bytes): parent link plus the intrusive
+/// membership-list link. Index-parallel to the graph's detector nodes.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UfNode {
+    /// DSU parent (self = root).
+    pub(crate) parent: u32,
+    /// Next member of this node's cluster list ([`NO_NODE`] = end).
+    pub(crate) next: u32,
+}
+
+/// Packed per-root cluster record (16 bytes). Only meaningful while the
+/// node is its cluster's DSU root.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UfRoot {
+    /// First member of the intrusive membership list.
+    pub(crate) head: u32,
+    /// Last member (appended to on union).
+    pub(crate) tail: u32,
+    /// Cluster size (union by size).
+    pub(crate) size: u32,
+    /// [`PARITY`] | [`CLUSTER_BOUNDARY`] bits.
+    pub(crate) flags: u32,
+}
+
+/// Root flag: the cluster holds an odd number of defects.
+pub(crate) const PARITY: u32 = 1;
+/// Root flag: the cluster has absorbed a boundary edge.
+pub(crate) const CLUSTER_BOUNDARY: u32 = 2;
+
+/// Mark-byte flag: node is a (current) defect.
+pub(crate) const DEFECT: u8 = 1;
+/// Mark-byte flag: node visited by the peeling BFS.
+pub(crate) const VISITED: u8 = 2;
+
+/// High bit of a `grown` entry: the edge has saturated (fully grown);
+/// the low 31 bits keep the growth count.
+pub(crate) const SATURATED: u32 = 1 << 31;
+
+/// Sentinel edge index: "no edge" (peeling-tree root / boundary drain
+/// absent).
+pub(crate) const NO_EDGE: u32 = u32::MAX;
+
+/// Union-find arenas: packed DSU records, single-byte node marks, and
+/// the growth/peeling state — all flat, u32-indexed, and bounded by
+/// `(nodes, edges)` of the graph.
 pub(crate) struct UfScratch {
-    // DSU (roots hold parity / boundary / size; membership is the
-    // `head -> next -> ... -> tail` list per root).
-    pub(crate) parent: Vec<u32>,
-    pub(crate) parity: Vec<bool>,
-    pub(crate) boundary: Vec<bool>,
-    pub(crate) size: Vec<u32>,
-    pub(crate) head: Vec<u32>,
-    pub(crate) tail: Vec<u32>,
-    pub(crate) next: Vec<u32>,
-    // Cluster growth.
-    pub(crate) defect: Vec<bool>,
+    /// Per-node DSU + membership-list record (8 B each).
+    pub(crate) node: Vec<UfNode>,
+    /// Per-node cluster record, live while the node is a root (16 B).
+    pub(crate) root: Vec<UfRoot>,
+    /// Per-node [`DEFECT`] | [`VISITED`] mark bits.
+    pub(crate) mark: Vec<u8>,
+    /// Per-edge growth counter with the [`SATURATED`] high bit.
     pub(crate) grown: Vec<u32>,
-    pub(crate) saturated: Vec<bool>,
-    pub(crate) frontier: Vec<u32>,
+    /// Roots of still-odd clusters (one growth pass's worklist).
     pub(crate) roots: Vec<u32>,
-    // Peeling.
-    pub(crate) visited: Vec<bool>,
+    /// Unsaturated frontier edges of the cluster being grown.
+    pub(crate) frontier: Vec<u32>,
+    /// Peeling BFS order; also *is* the BFS queue (FIFO scan-by-index).
     pub(crate) order: Vec<u32>,
+    /// Peeling-tree parent edge per node ([`NO_EDGE`] = tree root).
     pub(crate) parent_edge: Vec<u32>,
-    pub(crate) root_drains: Vec<(u32, Option<u32>)>,
-    pub(crate) queue: VecDeque<u32>,
+    /// Peeling-tree roots with their boundary drain edge ([`NO_EDGE`]
+    /// when the component has none).
+    pub(crate) root_drains: Vec<(u32, u32)>,
+    /// Debug-asserted bounds; `u32::MAX` = unbounded.
+    bound_nodes: u32,
+    bound_edges: u32,
 }
 
-/// Sentinel terminating the intrusive membership lists.
-pub(crate) const NO_NODE: u32 = u32::MAX;
+impl Default for UfScratch {
+    fn default() -> UfScratch {
+        UfScratch {
+            node: Vec::new(),
+            root: Vec::new(),
+            mark: Vec::new(),
+            grown: Vec::new(),
+            roots: Vec::new(),
+            frontier: Vec::new(),
+            order: Vec::new(),
+            parent_edge: Vec::new(),
+            root_drains: Vec::new(),
+            bound_nodes: u32::MAX,
+            bound_edges: u32::MAX,
+        }
+    }
+}
 
 impl UfScratch {
-    /// Re-arms the DSU and growth buffers for a graph with `nodes`
-    /// detectors and `edges` edges. Allocation-free once the buffers
-    /// have grown to the graph's size.
+    /// Preallocates every arena for decodes within `cap` and arms the
+    /// debug-asserted bounds. The frontier gets `2 * edges` slots: each
+    /// internal edge can enter a growth pass once per endpoint before
+    /// dedup.
+    pub(crate) fn bound(&mut self, cap: ScratchCapacity) {
+        let n = cap.nodes as usize;
+        let e = cap.edges as usize;
+        reserve_to(&mut self.node, n);
+        reserve_to(&mut self.root, n);
+        reserve_to(&mut self.mark, n);
+        reserve_to(&mut self.grown, e);
+        reserve_to(&mut self.roots, n);
+        reserve_to(&mut self.frontier, 2 * e);
+        reserve_to(&mut self.order, n);
+        reserve_to(&mut self.parent_edge, n);
+        reserve_to(&mut self.root_drains, n);
+        self.bound_nodes = cap.nodes;
+        self.bound_edges = cap.edges;
+    }
+
+    /// Re-arms the arenas for a graph with `nodes` detectors and
+    /// `edges` edges. Allocation-free once the arenas hold the graph's
+    /// size; debug builds panic when a declared bound is exceeded.
     pub(crate) fn reset(&mut self, nodes: usize, edges: usize) {
-        self.parent.clear();
-        self.parent.extend(0..nodes as u32);
-        self.parity.clear();
-        self.parity.resize(nodes, false);
-        self.boundary.clear();
-        self.boundary.resize(nodes, false);
-        self.size.clear();
-        self.size.resize(nodes, 1);
-        self.head.clear();
-        self.head.extend(0..nodes as u32);
-        self.tail.clear();
-        self.tail.extend(0..nodes as u32);
-        self.next.clear();
-        self.next.resize(nodes, NO_NODE);
-        self.defect.clear();
-        self.defect.resize(nodes, false);
+        debug_assert!(
+            self.bound_nodes == u32::MAX || nodes <= self.bound_nodes as usize,
+            "UfScratch bound overflow: {nodes} nodes through a workspace bounded to {} \
+             (was the scratch built for a smaller graph?)",
+            self.bound_nodes
+        );
+        debug_assert!(
+            self.bound_edges == u32::MAX || edges <= self.bound_edges as usize,
+            "UfScratch bound overflow: {edges} edges through a workspace bounded to {}",
+            self.bound_edges
+        );
+        self.node.clear();
+        self.node.extend((0..nodes as u32).map(|i| UfNode {
+            parent: i,
+            next: NO_NODE,
+        }));
+        self.root.clear();
+        self.root.extend((0..nodes as u32).map(|i| UfRoot {
+            head: i,
+            tail: i,
+            size: 1,
+            flags: 0,
+        }));
+        self.mark.clear();
+        self.mark.resize(nodes, 0);
         self.grown.clear();
         self.grown.resize(edges, 0);
-        self.saturated.clear();
-        self.saturated.resize(edges, false);
+        self.parent_edge.clear();
+        self.parent_edge.resize(nodes, NO_EDGE);
+        self.order.clear();
+        self.root_drains.clear();
     }
 
     /// Root of `x`'s cluster, with path compression.
     pub(crate) fn find(&mut self, x: u32) -> u32 {
         let mut root = x;
-        while self.parent[root as usize] != root {
-            root = self.parent[root as usize];
+        while self.node[root as usize].parent != root {
+            root = self.node[root as usize].parent;
         }
         let mut cur = x;
-        while self.parent[cur as usize] != root {
-            let next = self.parent[cur as usize];
-            self.parent[cur as usize] = root;
+        while self.node[cur as usize].parent != root {
+            let next = self.node[cur as usize].parent;
+            self.node[cur as usize].parent = root;
             cur = next;
         }
         root
     }
 
     /// Unions the clusters of `a` and `b` (union by size; the smaller
-    /// membership list is appended to the larger in O(1)).
+    /// membership list is appended to the larger in O(1)). Parity XORs,
+    /// boundary contact ORs.
     pub(crate) fn union(&mut self, a: u32, b: u32) -> u32 {
         let (mut ra, mut rb) = (self.find(a), self.find(b));
         if ra == rb {
             return ra;
         }
-        if self.size[ra as usize] < self.size[rb as usize] {
+        if self.root[ra as usize].size < self.root[rb as usize].size {
             std::mem::swap(&mut ra, &mut rb);
         }
-        self.parent[rb as usize] = ra;
-        self.parity[ra as usize] ^= self.parity[rb as usize];
-        self.boundary[ra as usize] |= self.boundary[rb as usize];
-        self.size[ra as usize] += self.size[rb as usize];
-        self.next[self.tail[ra as usize] as usize] = self.head[rb as usize];
-        self.tail[ra as usize] = self.tail[rb as usize];
+        self.node[rb as usize].parent = ra;
+        let absorbed = self.root[rb as usize];
+        let keep = &mut self.root[ra as usize];
+        keep.flags = ((keep.flags ^ absorbed.flags) & PARITY)
+            | ((keep.flags | absorbed.flags) & CLUSTER_BOUNDARY);
+        keep.size += absorbed.size;
+        let tail = keep.tail;
+        keep.tail = absorbed.tail;
+        self.node[tail as usize].next = absorbed.head;
         ra
     }
 }
 
 /// Matching buffers: one Dijkstra workspace plus the flattened `k x k`
 /// distance/mask matrices and the `2^k` subset-DP tables of the exact
-/// matcher.
-#[derive(Default)]
+/// matcher, bounded by the matcher's `exact_limit`.
 pub(crate) struct MatchScratch {
     pub(crate) dijkstra: DijkstraScratch,
     pub(crate) pair_d: Vec<f64>,
@@ -172,4 +347,38 @@ pub(crate) struct MatchScratch {
     pub(crate) bdry_m: Vec<u32>,
     pub(crate) dp: Vec<f64>,
     pub(crate) choice: Vec<(usize, Option<usize>)>,
+    /// Debug-asserted defect-count bound; `u32::MAX` = unbounded.
+    pub(crate) bound_k: u32,
+}
+
+impl Default for MatchScratch {
+    fn default() -> MatchScratch {
+        MatchScratch {
+            dijkstra: DijkstraScratch::new(),
+            pair_d: Vec::new(),
+            pair_m: Vec::new(),
+            bdry_d: Vec::new(),
+            bdry_m: Vec::new(),
+            dp: Vec::new(),
+            choice: Vec::new(),
+            bound_k: u32::MAX,
+        }
+    }
+}
+
+impl MatchScratch {
+    /// Preallocates the `k x k` matrices and `2^k` DP tables for up to
+    /// `cap.exact_limit` defects, plus the Dijkstra workspace for
+    /// `cap.nodes` detectors, and arms the debug-asserted bound.
+    pub(crate) fn bound(&mut self, cap: ScratchCapacity) {
+        let k = cap.exact_limit as usize;
+        reserve_to(&mut self.pair_d, k * k);
+        reserve_to(&mut self.pair_m, k * k);
+        reserve_to(&mut self.bdry_d, k);
+        reserve_to(&mut self.bdry_m, k);
+        reserve_to(&mut self.dp, 1usize << k);
+        reserve_to(&mut self.choice, 1usize << k);
+        self.dijkstra.bound_nodes(cap.nodes as usize + 1);
+        self.bound_k = cap.exact_limit;
+    }
 }

@@ -1,8 +1,12 @@
-//! Weighted union-find decoding (cluster growth + peeling).
+//! Weighted union-find decoding (cluster growth + peeling) on flat
+//! index arenas.
 
 use crate::evaluate::Decoder;
-use crate::graph::DecodingGraph;
-use crate::scratch::{DecoderScratch, UfScratch, NO_NODE};
+use crate::graph::{DecodingGraph, NO_NODE};
+use crate::scratch::{
+    DecoderScratch, ScratchCapacity, UfScratch, CLUSTER_BOUNDARY, DEFECT, NO_EDGE, PARITY,
+    SATURATED, VISITED,
+};
 use std::sync::Arc;
 
 /// A weighted union-find decoder (Delfosse–Nickerson).
@@ -14,6 +18,11 @@ use std::sync::Arc;
 /// boundary. A peeling pass over each cluster's spanning forest then
 /// produces the correction, whose edge observable masks XOR into the
 /// logical prediction.
+///
+/// The whole decode runs over flat u32 arenas: CSR adjacency from the
+/// graph, packed 8/16-byte DSU records and single-byte node marks from
+/// the scratch — no per-node heap structures, which is what keeps
+/// d ≥ 11 decodes inside the cache instead of chasing pointers.
 ///
 /// Union-find trades a little accuracy against minimum-weight perfect
 /// matching for near-linear decoding time, which is what makes the
@@ -61,12 +70,12 @@ impl Decoder for UfDecoder {
             return;
         }
         let n = self.graph.num_detectors() as usize;
-        let edges = self.graph.edges();
+        let rec = self.graph.records();
         let s = &mut scratch.uf;
-        s.reset(n, edges.len());
+        s.reset(n, rec.len());
         for &f in syndrome {
-            s.defect[f as usize] = true;
-            s.parity[f as usize] = true;
+            s.mark[f as usize] |= DEFECT;
+            s.root[f as usize].flags |= PARITY;
         }
         // The root/frontier lists are borrowed out of the scratch for
         // the growth loop (which needs `&mut s` for find/union) and
@@ -78,7 +87,7 @@ impl Decoder for UfDecoder {
             roots.clear();
             for &x in syndrome {
                 let r = s.find(x);
-                if s.parity[r as usize] && !s.boundary[r as usize] {
+                if s.root[r as usize].flags & (PARITY | CLUSTER_BOUNDARY) == PARITY {
                     roots.push(r);
                 }
             }
@@ -90,36 +99,33 @@ impl Decoder for UfDecoder {
             for &root in &roots {
                 // A merge earlier in this pass may have neutralized it.
                 let r = s.find(root);
-                if r != root || !s.parity[r as usize] || s.boundary[r as usize] {
+                if r != root || s.root[r as usize].flags & (PARITY | CLUSTER_BOUNDARY) != PARITY {
                     continue;
                 }
                 // Grow every unsaturated edge on the cluster frontier
                 // (members are walked through the intrusive list).
                 frontier.clear();
-                let mut node = s.head[root as usize];
+                let mut node = s.root[root as usize].head;
                 while node != NO_NODE {
-                    for &ei in self.graph.incident(node) {
-                        if !s.saturated[ei as usize] {
-                            frontier.push(ei);
+                    for a in self.graph.neighbors(node) {
+                        if s.grown[a.edge as usize] & SATURATED == 0 {
+                            frontier.push(a.edge);
                         }
                     }
-                    node = s.next[node as usize];
+                    node = s.node[node as usize].next;
                 }
                 frontier.sort_unstable();
                 frontier.dedup();
                 for &ei in &frontier {
-                    let e = &edges[ei as usize];
                     s.grown[ei as usize] += 1;
                     if s.grown[ei as usize] >= self.capacity[ei as usize] {
-                        s.saturated[ei as usize] = true;
-                        match e.v {
-                            Some(v) => {
-                                s.union(e.u, v);
-                            }
-                            None => {
-                                let r = s.find(e.u);
-                                s.boundary[r as usize] = true;
-                            }
+                        s.grown[ei as usize] |= SATURATED;
+                        let e = &rec[ei as usize];
+                        if e.v == NO_NODE {
+                            let r = s.find(e.u);
+                            s.root[r as usize].flags |= CLUSTER_BOUNDARY;
+                        } else {
+                            s.union(e.u, e.v);
                         }
                     }
                 }
@@ -132,117 +138,93 @@ impl Decoder for UfDecoder {
         // when available).
         *correction = peel(&self.graph, s);
     }
+
+    fn scratch_capacity(&self) -> Option<ScratchCapacity> {
+        Some(ScratchCapacity::for_graph(&self.graph, 0))
+    }
 }
 
 /// Breadth-first spanning tree of `root`'s component in the saturated
-/// subgraph, appended to `order` / `parent_edge`.
-fn bfs(
-    graph: &DecodingGraph,
-    saturated: &[bool],
-    root: u32,
-    visited: &mut [bool],
-    parent_edge: &mut [u32],
-    order: &mut Vec<u32>,
-    queue: &mut std::collections::VecDeque<u32>,
-) {
-    let edges = graph.edges();
-    visited[root as usize] = true;
-    queue.push_back(root);
-    while let Some(u) = queue.pop_front() {
-        order.push(u);
-        for &ei in graph.incident(u) {
-            if !saturated[ei as usize] {
+/// subgraph, appended to `s.order` / `s.parent_edge`. The order array
+/// doubles as the FIFO queue (new nodes are pushed at the tail and
+/// scanned by index), so BFS needs no separate queue arena.
+fn bfs(graph: &DecodingGraph, s: &mut UfScratch, root: u32) {
+    s.mark[root as usize] |= VISITED;
+    let mut scan = s.order.len();
+    s.order.push(root);
+    while scan < s.order.len() {
+        let u = s.order[scan];
+        scan += 1;
+        for a in graph.neighbors(u) {
+            if s.grown[a.edge as usize] & SATURATED == 0 || a.to == NO_NODE {
                 continue;
             }
-            let e = &edges[ei as usize];
-            let Some(v) = e.v else { continue };
-            let w = if e.u == u { v } else { e.u };
-            if !visited[w as usize] {
-                visited[w as usize] = true;
-                parent_edge[w as usize] = ei;
-                queue.push_back(w);
+            if s.mark[a.to as usize] & VISITED == 0 {
+                s.mark[a.to as usize] |= VISITED;
+                s.parent_edge[a.to as usize] = a.edge;
+                s.order.push(a.to);
             }
         }
     }
 }
 
-/// Peels the saturated subgraph (in `s.saturated` / `s.defect`),
-/// returning the observable mask of the correction.
+/// Peels the saturated subgraph (in `s.grown` / `s.mark`), returning
+/// the observable mask of the correction.
 fn peel(graph: &DecodingGraph, s: &mut UfScratch) -> u32 {
     let n = graph.num_detectors() as usize;
-    let edges = graph.edges();
-    s.visited.clear();
-    s.visited.resize(n, false);
-    s.parent_edge.clear();
-    s.parent_edge.resize(n, u32::MAX);
-    s.order.clear();
-    s.root_drains.clear();
-    s.queue.clear();
+    let rec = graph.records();
     let mut mask = 0u32;
+    // VISITED bits are clear here: reset zeroed the marks and only the
+    // peeling BFS below sets them.
     // Boundary-anchored spanning trees first: each root's BFS claims
     // its whole component before other roots are considered, so
     // boundary-reachable defects drain to the boundary.
-    for (ei, e) in edges.iter().enumerate() {
-        if s.saturated[ei] && e.v.is_none() && !s.visited[e.u as usize] {
-            s.root_drains.push((e.u, Some(ei as u32)));
-            bfs(
-                graph,
-                &s.saturated,
-                e.u,
-                &mut s.visited,
-                &mut s.parent_edge,
-                &mut s.order,
-                &mut s.queue,
-            );
+    for (ei, e) in rec.iter().enumerate() {
+        if s.grown[ei] & SATURATED != 0 && e.v == NO_NODE && s.mark[e.u as usize] & VISITED == 0 {
+            s.root_drains.push((e.u, ei as u32));
+            bfs(graph, s, e.u);
         }
     }
     // Remaining components of the saturated subgraph.
     for node in 0..n as u32 {
-        if !s.visited[node as usize] {
+        if s.mark[node as usize] & VISITED == 0 {
             let in_subgraph = graph
-                .incident(node)
+                .neighbors(node)
                 .iter()
-                .any(|&ei| s.saturated[ei as usize]);
-            if in_subgraph || s.defect[node as usize] {
-                s.root_drains.push((node, None));
-                bfs(
-                    graph,
-                    &s.saturated,
-                    node,
-                    &mut s.visited,
-                    &mut s.parent_edge,
-                    &mut s.order,
-                    &mut s.queue,
-                );
+                .any(|a| s.grown[a.edge as usize] & SATURATED != 0);
+            if in_subgraph || s.mark[node as usize] & DEFECT != 0 {
+                s.root_drains.push((node, NO_EDGE));
+                bfs(graph, s, node);
             }
         }
     }
     // Peel in reverse BFS order: each non-root node pushes its defect
     // to its parent through the tree edge.
-    for &node in s.order.iter().rev() {
+    for i in (0..s.order.len()).rev() {
+        let node = s.order[i];
         let ei = s.parent_edge[node as usize];
-        if ei == u32::MAX {
+        if ei == NO_EDGE {
             continue; // root
         }
-        if s.defect[node as usize] {
-            let e = &edges[ei as usize];
+        if s.mark[node as usize] & DEFECT != 0 {
+            let e = &rec[ei as usize];
             mask ^= e.observables;
-            s.defect[node as usize] = false;
+            s.mark[node as usize] &= !DEFECT;
             let parent = if e.u == node {
-                e.v.expect("tree edges are internal")
+                debug_assert!(e.v != NO_NODE, "tree edges are internal");
+                e.v
             } else {
                 e.u
             };
-            s.defect[parent as usize] ^= true;
+            s.mark[parent as usize] ^= DEFECT;
         }
     }
     // Residual defects at roots drain through their boundary edge.
-    for &(root, bedge) in &s.root_drains {
-        if s.defect[root as usize] {
-            if let Some(ei) = bedge {
-                mask ^= edges[ei as usize].observables;
-                s.defect[root as usize] = false;
-            }
+    for i in 0..s.root_drains.len() {
+        let (root, bedge) = s.root_drains[i];
+        if s.mark[root as usize] & DEFECT != 0 && bedge != NO_EDGE {
+            mask ^= rec[bedge as usize].observables;
+            s.mark[root as usize] &= !DEFECT;
         }
     }
     mask
@@ -329,5 +311,14 @@ mod tests {
             let flagged: Vec<u32> = (0..8).filter(|_| rng.gen_bool(0.3)).collect();
             let _ = d.predict(&flagged);
         }
+    }
+
+    #[test]
+    fn declares_a_graph_sized_capacity() {
+        let d = UfDecoder::new(chain_graph(4, 0.01));
+        let cap = d.scratch_capacity().expect("uf declares its bound");
+        assert_eq!(cap.nodes, d.graph().num_detectors());
+        assert_eq!(cap.edges as usize, d.graph().edges().len());
+        assert_eq!(cap.exact_limit, 0);
     }
 }

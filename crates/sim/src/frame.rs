@@ -391,10 +391,145 @@ impl SampleBatch {
     }
 
     /// Syndrome Hamming weight (number of flagged detectors) of shot `s`.
+    ///
+    /// One strided bit probe per detector; batch consumers that visit
+    /// many shots should prefer a [`SyndromeScanner`], which amortizes
+    /// a word-wise transpose across each 64-shot block.
     pub fn hamming_weight(&self, s: usize) -> usize {
         (0..self.num_detectors)
             .filter(|&d| self.detector(d, s))
             .count()
+    }
+}
+
+/// Word-wise syndrome extraction over a [`SampleBatch`].
+///
+/// The batch stores detector rows bit-packed *across shots*, so the
+/// per-shot extraction ([`SampleBatch::flagged_detectors_into`]) is a
+/// strided single-bit probe per detector — `num_detectors` cache lines
+/// touched per shot. The scanner instead transposes one 64-shot block
+/// of the detector bit-matrix at a time (64×64 bit-block transpose)
+/// into shot-major rows, after which extracting a shot's syndrome is a
+/// dense `trailing_zeros` scan over `ceil(num_detectors / 64)` words
+/// and its Hamming weight is a row of popcounts. The transpose is
+/// amortized over the up-to-64 shots of its block — exactly how the
+/// decode loop visits them.
+///
+/// Usage: call [`begin_batch`](SyndromeScanner::begin_batch) once per
+/// batch (this invalidates any cached block), then
+/// [`flagged_into`](SyndromeScanner::flagged_into) /
+/// [`hamming_weight`](SyndromeScanner::hamming_weight) per shot.
+/// Results are bit-identical to the per-bit paths. The scanner reuses
+/// its transpose buffer across batches, so steady-state scanning
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub struct SyndromeScanner {
+    /// Shot-major transposed block: 64 rows (one per shot lane) of
+    /// `det_words` words; bit `d % 64` of word `d / 64` in row `lane`
+    /// is detector `d`'s value for that lane's shot.
+    t: Vec<u64>,
+    det_words: usize,
+    num_detectors: usize,
+    /// Block index currently in `t` (`usize::MAX` = none).
+    loaded: usize,
+}
+
+impl SyndromeScanner {
+    /// An empty scanner; sized by the first
+    /// [`begin_batch`](SyndromeScanner::begin_batch).
+    pub fn new() -> SyndromeScanner {
+        SyndromeScanner {
+            t: Vec::new(),
+            det_words: 0,
+            num_detectors: 0,
+            loaded: usize::MAX,
+        }
+    }
+
+    /// Re-arms the scanner for `batch`, invalidating any cached block
+    /// (always call when switching to a new batch, even one of the same
+    /// shape — the scanner cannot tell two batches apart by itself).
+    pub fn begin_batch(&mut self, batch: &SampleBatch) {
+        self.det_words = batch.num_detectors.div_ceil(WORD_BITS);
+        self.num_detectors = batch.num_detectors;
+        self.t.clear();
+        self.t.resize(WORD_BITS * self.det_words, 0);
+        self.loaded = usize::MAX;
+    }
+
+    /// Transposes shot-block `block` of `batch` into `t`, unless it is
+    /// the block already loaded.
+    fn load_block(&mut self, batch: &SampleBatch, block: usize) {
+        if self.loaded == block {
+            return;
+        }
+        debug_assert_eq!(
+            self.num_detectors, batch.num_detectors,
+            "SyndromeScanner used without begin_batch for this batch"
+        );
+        let mut buf = [0u64; WORD_BITS];
+        for g in 0..self.det_words {
+            for (r, slot) in buf.iter_mut().enumerate() {
+                let d = g * WORD_BITS + r;
+                *slot = if d < batch.num_detectors {
+                    batch.detectors[d * batch.words + block]
+                } else {
+                    0
+                };
+            }
+            transpose64(&mut buf);
+            for (r, &word) in buf.iter().enumerate() {
+                self.t[r * self.det_words + g] = word;
+            }
+        }
+        self.loaded = block;
+    }
+
+    /// The flagged detector indices of shot `s`, ascending, into a
+    /// reusable buffer (cleared first). Bit-identical to
+    /// [`SampleBatch::flagged_detectors_into`].
+    pub fn flagged_into(&mut self, batch: &SampleBatch, s: usize, out: &mut Vec<u32>) {
+        out.clear();
+        self.load_block(batch, s / WORD_BITS);
+        let lane = s % WORD_BITS;
+        let row = &self.t[lane * self.det_words..(lane + 1) * self.det_words];
+        for (w, &word) in row.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                out.push((w * WORD_BITS) as u32 + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Syndrome Hamming weight of shot `s` (a row of popcounts).
+    /// Bit-identical to [`SampleBatch::hamming_weight`].
+    pub fn hamming_weight(&mut self, batch: &SampleBatch, s: usize) -> usize {
+        self.load_block(batch, s / WORD_BITS);
+        let lane = s % WORD_BITS;
+        self.t[lane * self.det_words..(lane + 1) * self.det_words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight 7-3, adjusted
+/// for LSB-first columns): bit `i` of output word `k` equals bit `k`
+/// of input word `i`.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k] ^= t << j;
+            a[k | j] ^= t;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
     }
 }
 
@@ -716,6 +851,76 @@ mod tests {
             b.flagged_detectors_into(s, &mut buf);
             assert_eq!(buf, b.flagged_detectors(s));
         }
+    }
+
+    /// A wide noisy circuit: one detector per qubit, so the detector
+    /// count can exceed one word and padding lanes get exercised.
+    fn wide_circuit(num_detectors: u32) -> Circuit {
+        let mut c = Circuit::new(num_detectors);
+        c.push(Op::ResetZ((0..num_detectors).collect()));
+        c.push(Op::Depolarize1 {
+            qubits: (0..num_detectors).collect(),
+            p: 0.3,
+        });
+        c.push(Op::measure_z((0..num_detectors).collect::<Vec<_>>(), 0.0));
+        for k in 0..num_detectors {
+            c.push(Op::detector([MeasRef(k)], DetectorBasis::Z));
+        }
+        c
+    }
+
+    #[test]
+    fn scanner_matches_per_bit_extraction() {
+        // Shots and detectors both deliberately not multiples of 64, so
+        // the last shot block and last detector word are partial.
+        let c = wide_circuit(70);
+        let b = sample_batch(&c, 300, 12);
+        let mut scanner = SyndromeScanner::new();
+        scanner.begin_batch(&b);
+        let mut fast = vec![99u32; 5]; // stale contents must be cleared
+        for s in 0..b.shots {
+            scanner.flagged_into(&b, s, &mut fast);
+            assert_eq!(fast, b.flagged_detectors(s), "shot {s}");
+            assert_eq!(scanner.hamming_weight(&b, s), b.hamming_weight(s));
+        }
+    }
+
+    #[test]
+    fn scanner_handles_out_of_order_shots_and_new_batches() {
+        let c = wide_circuit(65);
+        let mut scanner = SyndromeScanner::new();
+        let mut fast = Vec::new();
+        for seed in [1u64, 2, 3] {
+            let b = sample_batch(&c, 130, seed);
+            scanner.begin_batch(&b); // invalidates the previous batch's block
+                                     // Jump across blocks both ways: each jump reloads.
+            for &s in &[129usize, 0, 64, 1, 128, 63, 65] {
+                scanner.flagged_into(&b, s, &mut fast);
+                assert_eq!(fast, b.flagged_detectors(s), "seed {seed} shot {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose64_round_trips_and_transposes() {
+        // Deterministic pseudo-random matrix via xorshift.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let mut a = [0u64; 64];
+        for slot in &mut a {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *slot = x;
+        }
+        let orig = a;
+        transpose64(&mut a);
+        for (k, &row) in a.iter().enumerate() {
+            for (i, &col) in orig.iter().enumerate() {
+                assert_eq!((row >> i) & 1, (col >> k) & 1, "bit ({k},{i})");
+            }
+        }
+        transpose64(&mut a);
+        assert_eq!(a, orig, "transpose is an involution");
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod reference;
 mod stats;
 
 pub use dem::{DemStats, DetectorErrorModel, Mechanism};
-pub use frame::{sample_batch, sample_batch_with, FrameSimulator, SampleBatch};
+pub use frame::{sample_batch, sample_batch_with, FrameSimulator, SampleBatch, SyndromeScanner};
 pub use parallel::{
     batch_plan, parallel_batches, parallel_batches_indexed, parallel_batches_with, BatchSpec,
 };
