@@ -9,6 +9,20 @@
 //!   [`DecoderScratch`] (plus `decode-throughput-alloc`, the same
 //!   measurement through the allocating [`Decoder::predict`] path, so
 //!   the scratch win stays visible).
+//! * `decode-latency` — the *distribution* of per-round latency
+//!   through the streaming sliding-window path
+//!   ([`StreamingDecoder`](ftqc_decoder::StreamingDecoder) fed by a
+//!   [`RoundStream`](ftqc_sim::RoundStream), window = 2): every round
+//!   arrival/commit event is timed individually and reported as three
+//!   rows per decoder × distance — `<kind>/d<d>/p50`, `/p99` and
+//!   `/max` ns per round (each row's `median_ns_per_op` carries that
+//!   order statistic — median-of-passes for p50/p99, min-of-passes
+//!   for the noise-sensitive max — so tail latency rides the
+//!   existing compare gate with no schema change; the committed
+//!   baseline carries only the statistically stable p50/p99 rows,
+//!   leaving max reported-but-ungated). This mirrors
+//!   micro-blossom's `decoding_speed/distribution` harness and is the
+//!   number a real-time claim rests on.
 //! * `adaptive-pipeline` — end-to-end shots/sec of the
 //!   run-until-confident evaluation engine (sampling + decoding +
 //!   stopping), the loop behind every LER figure.
@@ -71,6 +85,7 @@ pub fn scenario_names() -> &'static [&'static str] {
     &[
         "decode-throughput",
         "decode-throughput-alloc",
+        "decode-latency",
         "adaptive-pipeline",
         "runtime-sweep",
     ]
@@ -85,6 +100,7 @@ pub fn run_scenario(name: &str, preset: Preset) -> Result<BenchReport, String> {
     let results = match name {
         "decode-throughput" => decode_throughput(preset, DecodePath::Scratch),
         "decode-throughput-alloc" => decode_throughput(preset, DecodePath::Allocating),
+        "decode-latency" => decode_latency(preset),
         "adaptive-pipeline" => adaptive_pipeline(preset),
         "runtime-sweep" => runtime_sweep(preset),
         other => {
@@ -231,6 +247,126 @@ fn decode_throughput(preset: Preset, path: DecodePath) -> Vec<BenchResult> {
                 std::hint::black_box(acc);
                 syndromes.len()
             }));
+        }
+    }
+    results
+}
+
+/// Streaming window of the latency scenario: round `r` is finalized
+/// when round `r + 1` arrives (one round of lookahead) — small enough
+/// that every commit is on the critical path, which is the regime a
+/// real-time decoder must survive.
+const LATENCY_WINDOW: u32 = 2;
+
+/// `(decoder label, kind, distances per preset)` rows of the per-round
+/// latency sweep. Smaller than the throughput matrix: every commit
+/// decodes an accumulated prefix, so a row costs ~`rounds ×` a
+/// throughput row.
+fn latency_matrix(preset: Preset) -> Vec<(&'static str, DecoderKind, Vec<u32>)> {
+    match preset {
+        // Keep one large-distance row (uf/d11) so the gate sees tail
+        // latency at a graph size that misses L1.
+        Preset::Quick => vec![
+            ("uf", DecoderKind::UnionFind, vec![3, 11]),
+            ("lut", DecoderKind::lut(), vec![3]),
+            ("mwpm", DecoderKind::Mwpm, vec![3]),
+            ("hierarchical", DecoderKind::hierarchical(), vec![3]),
+        ],
+        Preset::Full => vec![
+            ("uf", DecoderKind::UnionFind, vec![3, 5, 7, 11, 15]),
+            ("lut", DecoderKind::lut(), vec![3, 5]),
+            ("mwpm", DecoderKind::Mwpm, vec![3, 5, 11]),
+            ("hierarchical", DecoderKind::hierarchical(), vec![3, 5]),
+        ],
+    }
+}
+
+fn decode_latency(preset: Preset) -> Vec<BenchResult> {
+    use ftqc_decoder::StreamingDecoder;
+    use ftqc_sim::{RoundSchedule, RoundStream};
+
+    let hw = HardwareConfig::ibm();
+    let mut results = Vec::new();
+    for (label, kind, distances) in latency_matrix(preset) {
+        for d in distances {
+            // Setup (untimed): lower, extract, build, pre-sample. The
+            // shot stream is deterministic, so every pass times the
+            // same per-round events.
+            let pipeline = EvalPipeline::memory(MemoryConfig::new(d, d + 1, &hw))
+                .physical_error(1e-3)
+                .decoder(kind)
+                .seed(2025)
+                .build();
+            let decoder = pipeline.decoder();
+            let schedule = RoundSchedule::from_circuit(pipeline.circuit());
+            let batch = sample_batch(pipeline.circuit(), decode_shots(d), 2025);
+            let mut rounds = RoundStream::new(&schedule);
+            let mut stream = StreamingDecoder::new(decoder, LATENCY_WINDOW);
+            let mut defects = Vec::with_capacity(schedule.max_round_len());
+            // One pass streams every shot, timing each round event
+            // (arrival push or tail flush) individually into `lat`.
+            let mut lat: Vec<u64> = Vec::new();
+            let mut pass = |lat: &mut Vec<u64>| {
+                lat.clear();
+                rounds.begin_batch(&batch);
+                for s in 0..batch.shots {
+                    rounds.begin_shot(s);
+                    stream.begin_shot();
+                    while rounds.next_round_into(&batch, &mut defects).is_some() {
+                        let t0 = Instant::now();
+                        std::hint::black_box(stream.push_round(&defects));
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    loop {
+                        let t0 = Instant::now();
+                        let commit = stream.flush_round();
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        if commit.is_none() {
+                            break;
+                        }
+                        lat.push(ns);
+                    }
+                }
+            };
+            pass(&mut lat); // warm-up: grow scanner/scratch buffers
+            let (mut p50, mut p99, mut max) = (
+                Vec::with_capacity(SAMPLES),
+                Vec::with_capacity(SAMPLES),
+                Vec::with_capacity(SAMPLES),
+            );
+            let mut allocs = 0u64;
+            let mut events = 0usize;
+            for _ in 0..SAMPLES {
+                let a0 = allocation_count();
+                pass(&mut lat);
+                allocs += allocation_count() - a0;
+                events += lat.len();
+                lat.sort_unstable();
+                p50.push(lat[lat.len() / 2] as f64);
+                p99.push(lat[lat.len() * 99 / 100] as f64);
+                max.push(lat[lat.len() - 1] as f64);
+            }
+            let allocs_per_event = allocs as f64 / events.max(1) as f64;
+            // p50/p99 gate on the median across passes — stable order
+            // statistics. The max is one event per pass, and scheduler
+            // noise only ever *adds* time, so the min across passes is
+            // the robust estimate of the worst round's true cost (the
+            // deterministic stream makes it the same logical round
+            // each pass); a median-of-maxes flaps 10x under load.
+            for (stat, mut samples) in [("p50", p50), ("p99", p99), ("max", max)] {
+                samples.sort_by(|a, b| a.total_cmp(b));
+                let ns = if stat == "max" {
+                    samples[0]
+                } else {
+                    samples[samples.len() / 2]
+                };
+                results.push(BenchResult::new(
+                    format!("{label}/d{d}/{stat}"),
+                    ns,
+                    allocs_per_event,
+                    SAMPLES,
+                ));
+            }
         }
     }
     results

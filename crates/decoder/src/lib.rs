@@ -30,6 +30,14 @@
 //!   noisy circuit under any [`Decoder`]; [`count_batch_errors`] is the
 //!   streaming per-batch variant the adaptive evaluation engine merges
 //!   incrementally, with one scratch per worker thread.
+//! * [`StreamingDecoder`] — the real-time face of the stack: any
+//!   decoder consumed round by round through a sliding window of `W`
+//!   rounds, committing corrections for rounds that scroll out —
+//!   bit-identical to batch decoding by construction (telescoping XOR
+//!   deltas; the type's docs carry the argument).
+//!   [`count_batch_errors_streaming`] is its batch-driver form; the
+//!   `decode-latency` scenario of `ftqc-bench` measures its per-round
+//!   latency distribution.
 //!
 //! # Example
 //!
@@ -55,6 +63,7 @@ mod kind;
 mod lut;
 mod mwpm;
 mod scratch;
+mod streaming;
 mod union_find;
 
 pub use evaluate::{count_batch_errors, evaluate_ler, Decoder};
@@ -64,4 +73,5 @@ pub use kind::{AnyDecoder, DecoderKind};
 pub use lut::LutDecoder;
 pub use mwpm::MwpmDecoder;
 pub use scratch::{DecoderScratch, ScratchCapacity};
+pub use streaming::{count_batch_errors_streaming, RoundCommit, StreamingDecoder};
 pub use union_find::UfDecoder;

@@ -502,6 +502,48 @@ impl SyndromeScanner {
         }
     }
 
+    /// The flagged detector indices of shot `s` in `lo..hi`, ascending,
+    /// **appended** to `out` (not cleared — a round made of several
+    /// index runs accumulates across calls; clear between shots). This
+    /// is the round-streaming primitive: a round's detectors are a
+    /// handful of contiguous index ranges, and each range costs a
+    /// masked word scan over the already-transposed shot row rather
+    /// than a fresh pass over the whole syndrome.
+    ///
+    /// `hi` is clamped to the batch's detector count; an empty or
+    /// inverted range appends nothing.
+    pub fn flagged_range_into(
+        &mut self,
+        batch: &SampleBatch,
+        s: usize,
+        lo: u32,
+        hi: u32,
+        out: &mut Vec<u32>,
+    ) {
+        let hi = (hi as usize).min(batch.num_detectors);
+        let lo = lo as usize;
+        if lo >= hi {
+            return;
+        }
+        self.load_block(batch, s / WORD_BITS);
+        let lane = s % WORD_BITS;
+        let row = &self.t[lane * self.det_words..(lane + 1) * self.det_words];
+        let (w0, w1) = (lo / WORD_BITS, (hi - 1) / WORD_BITS);
+        for (w, &row_word) in row.iter().enumerate().take(w1 + 1).skip(w0) {
+            let mut bits = row_word;
+            if w == w0 {
+                bits &= !0u64 << (lo % WORD_BITS);
+            }
+            if w == w1 && !hi.is_multiple_of(WORD_BITS) {
+                bits &= (1u64 << (hi % WORD_BITS)) - 1;
+            }
+            while bits != 0 {
+                out.push((w * WORD_BITS) as u32 + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        }
+    }
+
     /// Syndrome Hamming weight of shot `s` (a row of popcounts).
     /// Bit-identical to [`SampleBatch::hamming_weight`].
     pub fn hamming_weight(&mut self, batch: &SampleBatch, s: usize) -> usize {

@@ -19,6 +19,10 @@
 //!   results; the `_with` variant gives every worker reusable
 //!   per-thread state (sampler buffers are always reused), making
 //!   steady-state batches allocation-free.
+//! * [`RoundSchedule`] / [`RoundStream`] — round-streaming syndrome
+//!   extraction: detectors grouped into measurement rounds by their
+//!   `coords[2]` tag and replayed one round at a time through the
+//!   scanner, feeding `ftqc-decoder`'s streaming sliding-window layer.
 //! * [`BinomialEstimate`] — logical-error-rate statistics.
 //! * [`RunningEstimate`] / [`StopRule`] — incremental estimate merging
 //!   and the stopping criteria behind run-until-confident evaluation.
@@ -47,6 +51,7 @@ mod frame;
 mod parallel;
 mod reference;
 mod stats;
+mod stream;
 
 pub use dem::{DemStats, DetectorErrorModel, Mechanism};
 pub use frame::{sample_batch, sample_batch_with, FrameSimulator, SampleBatch, SyndromeScanner};
@@ -55,3 +60,4 @@ pub use parallel::{
 };
 pub use reference::{run_reference, verify_deterministic, ReferenceRun};
 pub use stats::{BinomialEstimate, RunningEstimate, StopReason, StopRule};
+pub use stream::{RoundSchedule, RoundStream};
