@@ -221,18 +221,42 @@ pub enum Value {
 }
 
 impl Value {
-    fn as_object(&self) -> Option<&[(String, Value)]> {
+    /// Parses a standalone JSON document (the same reader
+    /// [`BenchReport::from_json`] uses). Also used by the telemetry
+    /// trace-schema tests to validate emitted Chrome trace JSON.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        Parser::new(text).parse()
+    }
+
+    /// The key/value pairs when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
         match self {
             Value::Object(pairs) => Some(pairs),
             _ => None,
         }
     }
 
-    fn as_array(&self) -> Option<&[Value]> {
+    /// The items when this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
         match self {
             Value::Array(items) => Some(items),
             _ => None,
         }
+    }
+
+    /// Object field lookup (`None` for non-objects/missing keys).
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|pairs| pairs.field(key))
+    }
+
+    /// Object field as a string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.as_object().and_then(|pairs| pairs.get_str(key))
+    }
+
+    /// Object field as a number.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.as_object().and_then(|pairs| pairs.get_f64(key))
     }
 }
 

@@ -3,12 +3,20 @@
 //!
 //! ```text
 //! ftqc-bench list
-//! ftqc-bench run [SCENARIO ...] [--preset quick|full] [--out DIR]
+//! ftqc-bench run [SCENARIO ...] [--preset quick|full] [--out DIR] [--trace-dir DIR]
 //! ftqc-bench compare BASELINE.json NEW.json [--threshold 0.25]
 //! ```
 //!
 //! `run` writes one `BENCH_<scenario>.json` per scenario into `--out`
-//! (default: the current directory). `compare` exits non-zero when any
+//! (default: the current directory). With `--trace-dir DIR` it also
+//! records cross-layer telemetry while each scenario runs and writes
+//! `TRACE_<scenario>.json` (Chrome trace-event JSON, Perfetto-loadable)
+//! plus `TRACE_<scenario>.summary.json` (per-span p50/p99/max + counter
+//! totals — the span-attribution numbers behind EXPERIMENTS.md's
+//! "Where the nanoseconds go" table) into `DIR`. Tracing adds the
+//! enabled-path recording cost to the measured numbers, so traced
+//! medians are for *attribution*, not for updating baselines.
+//! `compare` exits non-zero when any
 //! row of NEW is more than `--threshold` (fractional) slower than the
 //! same row of BASELINE, when a baseline row disappeared, or when an
 //! allocation-free row started allocating — see DESIGN.md
@@ -62,7 +70,7 @@ impl From<String> for Failure {
 
 fn usage() -> Failure {
     Failure::Usage(format!(
-        "usage:\n  ftqc-bench list\n  ftqc-bench run [SCENARIO ...] [--preset quick|full] [--out DIR]\n  ftqc-bench compare BASELINE.json NEW.json [--threshold 0.25]\n\nscenarios: {}",
+        "usage:\n  ftqc-bench list\n  ftqc-bench run [SCENARIO ...] [--preset quick|full] [--out DIR] [--trace-dir DIR]\n  ftqc-bench compare BASELINE.json NEW.json [--threshold 0.25]\n\nscenarios: {}",
         scenario_names().join(", ")
     ))
 }
@@ -70,6 +78,7 @@ fn usage() -> Failure {
 fn cmd_run(args: &[String]) -> Result<(), Failure> {
     let mut preset = Preset::Quick;
     let mut out_dir = String::from(".");
+    let mut trace_dir: Option<String> = None;
     let mut scenarios: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -85,6 +94,13 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
                     .next()
                     .ok_or_else(|| "--out needs a value".to_string())?
                     .clone();
+            }
+            "--trace-dir" => {
+                trace_dir = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace-dir needs a value".to_string())?
+                        .clone(),
+                );
             }
             flag if flag.starts_with("--") => {
                 return Err(Failure::Usage(format!("unknown flag '{flag}'")));
@@ -109,6 +125,20 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
     }
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("cannot create output directory {out_dir}: {e}"))?;
+    // One recording sink for the whole run, drained (exported + cleared)
+    // per scenario so each TRACE_*.json stands alone. Sized well above
+    // the default: a traced scenario is an attribution run, so keeping
+    // whole passes un-dropped matters more than memory.
+    let sink = match &trace_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create trace directory {dir}: {e}"))?;
+            let sink = std::sync::Arc::new(ftqc_telemetry::RingSink::with_capacity(1 << 19));
+            ftqc_telemetry::install(sink.clone());
+            Some(sink)
+        }
+        None => None,
+    };
     for name in &scenarios {
         eprintln!("running {name} ({} preset)...", preset.name());
         let report = run_scenario(name, preset)?;
@@ -124,6 +154,21 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
         let path = format!("{out_dir}/BENCH_{name}.json");
         std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
+        if let (Some(dir), Some(sink)) = (&trace_dir, &sink) {
+            let snapshot = sink.snapshot();
+            let trace_path = format!("{dir}/TRACE_{name}.json");
+            std::fs::write(&trace_path, ftqc_telemetry::chrome_trace_json(&snapshot))
+                .map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+            let summary_path = format!("{dir}/TRACE_{name}.summary.json");
+            let summary = ftqc_telemetry::summarize(&snapshot);
+            std::fs::write(&summary_path, ftqc_telemetry::summary_json(&summary))
+                .map_err(|e| format!("cannot write {summary_path}: {e}"))?;
+            eprintln!("wrote {trace_path} (+ {summary_path})");
+            sink.clear();
+        }
+    }
+    if sink.is_some() {
+        ftqc_telemetry::uninstall();
     }
     Ok(())
 }

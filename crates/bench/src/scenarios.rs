@@ -29,6 +29,12 @@
 //! * `runtime-sweep` — merges/sec of the discrete-event program
 //!   runtime executing a QFT schedule under each synchronization
 //!   policy family.
+//! * `telemetry-overhead` — ns/op of the instrumentation layer itself,
+//!   measured both ways: the disabled path (no sink installed — must
+//!   stay a single relaxed atomic load; these rows are the proof the
+//!   spans woven through the scenarios above cost nothing when off)
+//!   and the enabled path (recording into a presized
+//!   [`RingSink`](ftqc_telemetry::RingSink)).
 //!
 //! Every scenario exists in a `quick` preset (seconds; what CI's
 //! `perf-smoke` job runs and gates on) and a `full` preset (the
@@ -88,6 +94,7 @@ pub fn scenario_names() -> &'static [&'static str] {
         "decode-latency",
         "adaptive-pipeline",
         "runtime-sweep",
+        "telemetry-overhead",
     ]
 }
 
@@ -103,6 +110,7 @@ pub fn run_scenario(name: &str, preset: Preset) -> Result<BenchReport, String> {
         "decode-latency" => decode_latency(preset),
         "adaptive-pipeline" => adaptive_pipeline(preset),
         "runtime-sweep" => runtime_sweep(preset),
+        "telemetry-overhead" => telemetry_overhead(preset),
         other => {
             return Err(format!(
                 "unknown scenario '{other}' (expected one of: {})",
@@ -434,6 +442,66 @@ fn runtime_sweep(preset: Preset) -> Vec<BenchResult> {
     results
 }
 
+/// Measures the cost of the telemetry layer itself, in both states.
+///
+/// The `disabled/*` rows are the load-bearing ones: they bound what the
+/// spans inside `decode_into`, `commit_next`, the scanner and the
+/// runtime cost every *untraced* run — a regression here means
+/// instrumentation leaked real work onto the disabled path. The
+/// `enabled/*` rows price actual recording into a presized ring
+/// (steady state allocates nothing; the counting allocator keeps
+/// `allocs_per_op` honest). Presets are identical: the loop is
+/// nanoseconds-scale either way.
+fn telemetry_overhead(_preset: Preset) -> Vec<BenchResult> {
+    /// Disabled-path ops per pass (each op is ~a nanosecond).
+    const DISABLED_ITERS: usize = 100_000;
+    /// Enabled-path ops per pass; the ring is sized to hold one whole
+    /// pass (2 events per span) so recording never drops or grows.
+    const ENABLED_ITERS: usize = 20_000;
+    // The scenario owns the global sink for its duration; put back
+    // whatever was installed (e.g. `run --trace-dir`'s sink) after.
+    let previous = ftqc_telemetry::uninstall();
+    let mut results = Vec::new();
+    results.push(measure("disabled/span", || {
+        for i in 0..DISABLED_ITERS {
+            let span = ftqc_telemetry::span("bench/span");
+            std::hint::black_box(i);
+            drop(span);
+        }
+        DISABLED_ITERS
+    }));
+    results.push(measure("disabled/counter", || {
+        for i in 0..DISABLED_ITERS {
+            ftqc_telemetry::counter("bench/counter", (i & 1) as u64);
+        }
+        DISABLED_ITERS
+    }));
+    let sink = std::sync::Arc::new(ftqc_telemetry::RingSink::with_capacity(
+        2 * ENABLED_ITERS + 16,
+    ));
+    ftqc_telemetry::install(sink.clone());
+    results.push(measure("enabled/span", || {
+        sink.clear();
+        for i in 0..ENABLED_ITERS {
+            let span = ftqc_telemetry::span("bench/span");
+            std::hint::black_box(i);
+            drop(span);
+        }
+        ENABLED_ITERS
+    }));
+    results.push(measure("enabled/counter", || {
+        for i in 0..ENABLED_ITERS {
+            ftqc_telemetry::counter("bench/counter", (i & 1) as u64);
+        }
+        ENABLED_ITERS
+    }));
+    ftqc_telemetry::uninstall();
+    if let Some(previous) = previous {
+        ftqc_telemetry::install(previous);
+    }
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +517,26 @@ mod tests {
         assert_eq!("quick".parse::<Preset>().unwrap(), Preset::Quick);
         assert_eq!("full".parse::<Preset>().unwrap(), Preset::Full);
         assert!("medium".parse::<Preset>().is_err());
+    }
+
+    #[test]
+    fn telemetry_overhead_emits_both_paths_and_restores_state() {
+        let report = run_scenario("telemetry-overhead", Preset::Quick).unwrap();
+        assert!(
+            !ftqc_telemetry::enabled(),
+            "scenario must uninstall its sink"
+        );
+        let names: Vec<&str> = report.results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "disabled/span",
+                "disabled/counter",
+                "enabled/span",
+                "enabled/counter"
+            ]
+        );
+        assert!(report.results.iter().all(|r| r.median_ns_per_op >= 0.0));
     }
 
     #[test]

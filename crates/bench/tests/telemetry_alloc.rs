@@ -1,0 +1,71 @@
+//! Telemetry's zero-steady-state-allocation guarantee, asserted with
+//! the counting allocator (the same harness as `zero_alloc.rs` for the
+//! decode hot loop).
+//!
+//! A presized [`ftqc_telemetry::RingSink`] allocates when a thread's
+//! ring is created and never again: recording is a TLS read, an
+//! uncontended mutex lock, and an in-capacity `Vec::push` of a `Copy`
+//! event. This file holds exactly one `#[test]` — a concurrent test in
+//! the same process would allocate on its own thread and pollute the
+//! process-wide counter.
+
+use ftqc_bench::alloc::{allocation_count, counting_enabled, CountingAlloc};
+use ftqc_telemetry::{Arg, RingSink};
+use std::sync::Arc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[test]
+fn presized_ring_records_events_without_allocating() {
+    assert!(counting_enabled());
+    const N: usize = 10_000;
+    // 2 span events per iteration plus a tail of instants and samples.
+    let sink = Arc::new(RingSink::with_capacity(2 * N + 32));
+    ftqc_telemetry::install(sink.clone());
+    assert!(ftqc_telemetry::enabled());
+
+    // Warm everything that legitimately allocates once: the time
+    // anchor, this thread's ring, and each counter-table entry.
+    ftqc_telemetry::now_ns();
+    let warm = ftqc_telemetry::span("bench/span");
+    ftqc_telemetry::counter("bench/events", 1);
+    warm.end_with(&[Arg::new("i", 0.0)]);
+    ftqc_telemetry::instant("bench/mark", &[]);
+    ftqc_telemetry::sample("bench/value", 0.0);
+    sink.clear(); // keeps capacity: reuse must not reallocate
+
+    // Min over a few attempts: the process-wide counter can pick up a
+    // rare one-off from the runtime itself, and noise only ever *adds*
+    // allocations. A genuinely allocating recording path allocates ~2N
+    // times on every attempt, so the guarantee stays exact.
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let before = allocation_count();
+        for i in 0..N {
+            let span = ftqc_telemetry::span("bench/span");
+            ftqc_telemetry::counter("bench/events", 1);
+            span.end_with(&[Arg::new("i", i as f64)]);
+        }
+        for i in 0..8 {
+            ftqc_telemetry::instant("bench/mark", &[Arg::new("i", i as f64)]);
+            ftqc_telemetry::sample("bench/value", i as f64);
+        }
+        best = best.min(allocation_count() - before);
+        if best == 0 {
+            break;
+        }
+        sink.clear();
+    }
+    assert_eq!(best, 0, "recording into a warm ring allocated");
+
+    ftqc_telemetry::uninstall();
+    let snapshot = sink.snapshot();
+    assert_eq!(snapshot.threads.len(), 1);
+    assert_eq!(snapshot.threads[0].events.len(), 2 * N + 16);
+    assert_eq!(snapshot.threads[0].dropped, 0);
+    assert_eq!(
+        snapshot.counters,
+        vec![("bench/events".to_string(), N as u64)]
+    );
+}

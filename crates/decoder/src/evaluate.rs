@@ -146,8 +146,10 @@ pub fn count_batch_errors(
             )
         },
         |batch, (scratch, syndrome, scanner, empty_pred)| {
+            let span = ftqc_telemetry::span("decode/count_batch");
             let mut errors = vec![0u64; num_obs];
             let mut predicted = 0u32;
+            let mut decoded = 0u64;
             scanner.begin_batch(batch);
             for s in 0..batch.shots {
                 scanner.flagged_into(batch, s, syndrome);
@@ -159,6 +161,7 @@ pub fn count_batch_errors(
                     });
                 } else {
                     decoder.decode_into(scratch, syndrome, &mut predicted);
+                    decoded += 1;
                 }
                 for (o, err) in errors.iter_mut().enumerate() {
                     let actual = batch.observable(o, s);
@@ -168,6 +171,12 @@ pub fn count_batch_errors(
                     }
                 }
             }
+            ftqc_telemetry::counter("decode/shots", batch.shots as u64);
+            ftqc_telemetry::counter("decode/nonempty_shots", decoded);
+            span.end_with(&[
+                ftqc_telemetry::Arg::new("shots", batch.shots as f64),
+                ftqc_telemetry::Arg::new("nonempty", decoded as f64),
+            ]);
             errors
         },
     )

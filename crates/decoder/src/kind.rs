@@ -223,12 +223,21 @@ impl Decoder for AnyDecoder {
         syndrome: &[u32],
         correction: &mut u32,
     ) {
+        // Kind-tagged span names are static so recording never formats;
+        // when telemetry is disabled this is one relaxed load + one branch.
+        let span = ftqc_telemetry::span(match self {
+            AnyDecoder::UnionFind(_) => "decode/union-find",
+            AnyDecoder::Mwpm(_) => "decode/mwpm",
+            AnyDecoder::Lut(_) => "decode/lut",
+            AnyDecoder::Hierarchical(_) => "decode/hierarchical",
+        });
         match self {
             AnyDecoder::UnionFind(d) => d.decode_into(scratch, syndrome, correction),
             AnyDecoder::Mwpm(d) => d.decode_into(scratch, syndrome, correction),
             AnyDecoder::Lut(d) => d.decode_into(scratch, syndrome, correction),
             AnyDecoder::Hierarchical(d) => d.decode_into(scratch, syndrome, correction),
         }
+        span.end_with(&[ftqc_telemetry::Arg::new("defects", syndrome.len() as f64)]);
     }
 
     fn predict(&self, flagged: &[u32]) -> u32 {

@@ -284,6 +284,20 @@ impl<D: Decoder> StreamingDecoder<D> {
         self.emitted = self.running;
         let round = self.committed;
         self.committed += 1;
+        // Explicitly gated so the disabled path pays one relaxed load and
+        // never builds the argument array — this sits inside the ~40 ns
+        // defect-free round commit that `decode-latency` gates in CI.
+        if ftqc_telemetry::enabled() {
+            ftqc_telemetry::instant(
+                "stream/commit",
+                &[
+                    ftqc_telemetry::Arg::new("round", round as f64),
+                    ftqc_telemetry::Arg::new("occupancy", (self.pushed - round) as f64),
+                    ftqc_telemetry::Arg::new("decodes", self.decodes as f64),
+                    ftqc_telemetry::Arg::new("prefix_defects", self.syndrome.len() as f64),
+                ],
+            );
+        }
         RoundCommit {
             round,
             correction: delta,

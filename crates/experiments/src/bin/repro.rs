@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment>... [--full] [--shots N] [--threads N] [--out DIR]
 //!                       [--min-failures N] [--rse X] [--max-shots N]
-//!                       [--resume FILE] [--policy SPEC]
+//!                       [--resume FILE] [--policy SPEC] [--trace FILE]
 //! repro all [--full]
 //! repro --list
 //! ```
@@ -34,6 +34,13 @@
 //! strings
 //! appear in the emitted tables' policy column, so any reported row
 //! can be re-run verbatim.
+//!
+//! `--trace FILE` records a cross-layer telemetry trace of the whole
+//! run (sampling, scanning, decoding, streaming commits, runtime
+//! merges, adaptive stop rules) and writes Chrome trace-event JSON to
+//! `FILE` — load it in Perfetto — plus an aggregated span/counter
+//! summary to `FILE.summary.json`. An unwritable `FILE` exits 2 with
+//! usage before any shots run, like every other bad flag.
 
 use ftqc_experiments as exp;
 use ftqc_experiments::{CheckpointStore, Config, Table};
@@ -87,7 +94,8 @@ fn run_one(name: &str, config: &Config) -> Option<Vec<Table>> {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro <experiment>... [--full] [--shots N] [--threads N] [--out DIR] \
-         [--min-failures N] [--rse X] [--max-shots N] [--resume FILE] [--policy SPEC]"
+         [--min-failures N] [--rse X] [--max-shots N] [--resume FILE] [--policy SPEC] \
+         [--trace FILE]"
     );
     eprintln!("       repro --list");
     eprintln!("experiments: {} all", ALL.join(" "));
@@ -136,6 +144,7 @@ fn main() {
     let mut max_rse: Option<f64> = None;
     let mut max_shots: Option<u64> = None;
     let mut resume: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -172,7 +181,15 @@ fn main() {
                     }
                 }
             }
+            "--trace" => trace = Some(PathBuf::from(flag_value(&args, &mut i, "--trace"))),
             "all" => experiments.extend(ALL.iter().map(|s| s.to_string())),
+            flag if flag.starts_with("--") => {
+                // An unknown flag must never be mistaken for an experiment
+                // name: fail with usage, matching the bad-`--policy`
+                // contract, before any shots run.
+                eprintln!("unknown flag `{flag}`");
+                usage_and_exit();
+            }
             name => experiments.push(name.to_string()),
         }
         i += 1;
@@ -207,6 +224,18 @@ fn main() {
         eprintln!("aliases: {}", ALIASES.join(" "));
         std::process::exit(2);
     }
+    // Validate the trace destination before any shots run: an unwritable
+    // path must exit 2 with usage now, not lose an hour-long run at the
+    // final write.
+    let sink = trace.as_ref().map(|path| {
+        if let Err(e) = std::fs::File::create(path) {
+            eprintln!("--trace: cannot write {}: {e}", path.display());
+            usage_and_exit();
+        }
+        let sink = Arc::new(ftqc_telemetry::RingSink::new());
+        ftqc_telemetry::install(sink.clone());
+        sink
+    });
     if min_failures.is_some() || max_rse.is_some() || max_shots.is_some() {
         let ceiling = max_shots.unwrap_or_else(|| config.shots.saturating_mul(100).max(1));
         let mut rule = StopRule::max_shots(ceiling);
@@ -261,5 +290,30 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let (Some(path), Some(sink)) = (trace, sink) {
+        ftqc_telemetry::uninstall();
+        let snapshot = sink.snapshot();
+        if let Err(e) = std::fs::write(&path, ftqc_telemetry::chrome_trace_json(&snapshot)) {
+            eprintln!("could not write trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        let summary_path = {
+            let mut os = path.clone().into_os_string();
+            os.push(".summary.json");
+            PathBuf::from(os)
+        };
+        let summary = ftqc_telemetry::summarize(&snapshot);
+        if let Err(e) = std::fs::write(&summary_path, ftqc_telemetry::summary_json(&summary)) {
+            eprintln!("could not write summary {}: {e}", summary_path.display());
+            std::process::exit(1);
+        }
+        let events: usize = snapshot.threads.iter().map(|t| t.events.len()).sum();
+        eprintln!(
+            "trace: {events} events from {} thread(s) -> {} (+ {})",
+            snapshot.threads.len(),
+            path.display(),
+            summary_path.display()
+        );
     }
 }

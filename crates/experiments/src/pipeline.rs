@@ -328,8 +328,10 @@ impl EvalPipeline {
         );
         let chunk_batches = self.chunk_shots.div_ceil(self.batch_shots as u64).max(1);
         let decoder = self.decoder();
+        let span = ftqc_telemetry::span("exp/run_adaptive");
         loop {
             if let Some(reason) = rule.evaluate(&state) {
+                span.end_with(&[ftqc_telemetry::Arg::new("trials", state.trials() as f64)]);
                 return AdaptiveOutcome { state, reason };
             }
             let first = state.trials() / self.batch_shots as u64;
@@ -338,7 +340,21 @@ impl EvalPipeline {
                 count_batch_errors(&self.circuit, decoder, &plan, self.seed, self.threads);
             for ((_, size), errors) in plan.iter().zip(&per_batch) {
                 state.record(*size as u64, errors);
-                if rule.evaluate(&state).is_some() {
+                let stop = rule.evaluate(&state).is_some();
+                // One marker per stop-rule evaluation: the adaptive run's
+                // decision points, visible on the trace timeline.
+                if ftqc_telemetry::enabled() {
+                    ftqc_telemetry::counter("exp/stop_evals", 1);
+                    ftqc_telemetry::instant(
+                        "exp/adaptive_batch",
+                        &[
+                            ftqc_telemetry::Arg::new("trials", state.trials() as f64),
+                            ftqc_telemetry::Arg::new("batch_shots", *size as f64),
+                            ftqc_telemetry::Arg::new("stop", if stop { 1.0 } else { 0.0 }),
+                        ],
+                    );
+                }
+                if stop {
                     break; // chunk-size-invariant stopping point
                 }
             }

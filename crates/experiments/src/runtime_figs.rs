@@ -38,6 +38,43 @@ pub mod runtime {
         (config.shots / 20).clamp(250, 25_000)
     }
 
+    /// When telemetry is recording, runs a miniature decode workload —
+    /// one d=3 batch + adaptive evaluation and a few streaming shots —
+    /// purely so a `repro runtime --trace` recording carries span
+    /// events from every instrumented layer (sampling, scanning,
+    /// decoding, streaming commits, adaptive stop rules) alongside the
+    /// runtime merge stream. Never runs untraced: the runtime tables
+    /// are computed by a sequential event loop that this probe does not
+    /// touch.
+    fn trace_decode_probe(config: &Config) {
+        use ftqc_decoder::{DecoderKind, StreamingDecoder};
+        use ftqc_sim::{sample_batch, RoundSchedule, RoundStream, StopRule};
+        use ftqc_surface::MemoryConfig;
+
+        let hw = HardwareConfig::ibm();
+        let pipeline = crate::EvalPipeline::memory(MemoryConfig::new(3, 4, &hw))
+            .physical_error(3e-3)
+            .decoder(DecoderKind::UnionFind)
+            .batch_shots(256)
+            .seed(config.seed)
+            .build();
+        let _ = pipeline.run_adaptive(&StopRule::max_shots(512));
+        let schedule = RoundSchedule::from_circuit(pipeline.circuit());
+        let batch = sample_batch(pipeline.circuit(), 64, config.seed);
+        let mut rounds = RoundStream::new(&schedule);
+        let mut stream = StreamingDecoder::new(pipeline.decoder(), 2);
+        let mut defects = Vec::with_capacity(schedule.max_round_len());
+        rounds.begin_batch(&batch);
+        for s in 0..batch.shots.min(8) {
+            rounds.begin_shot(s);
+            stream.begin_shot();
+            while rounds.next_round_into(&batch, &mut defects).is_some() {
+                let _ = stream.push_round(&defects);
+            }
+            let _ = stream.finish_shot();
+        }
+    }
+
     /// Regenerates the {workload x policy} runtime/overhead table and
     /// the Passive slack histogram. Deterministic for a fixed
     /// `config.seed` regardless of `config.threads` (the runtime is a
@@ -45,6 +82,9 @@ pub mod runtime {
     /// round-trippable [`PolicySpec`] strings, so any row's policy
     /// column can be fed straight back to `repro runtime --policy`.
     pub fn run(config: &Config) -> Vec<Table> {
+        if ftqc_telemetry::enabled() {
+            trace_decode_probe(config);
+        }
         let hw = HardwareConfig::ibm();
         let cap = max_merges(config);
         let selected = match &config.policy {
@@ -68,6 +108,7 @@ pub mod runtime {
                 "extra rounds",
                 "mean slack (ns)",
                 "fallbacks",
+                "p99 slack (ns)",
             ],
         );
         let mut hist = Table::new(
@@ -93,6 +134,7 @@ pub mod runtime {
                     report.extra_rounds.to_string(),
                     format!("{:.0}", report.mean_slack_ns()),
                     report.fallbacks.to_string(),
+                    format!("{:.0}", report.slack.percentile(0.99)),
                 ]);
                 if wi == 0 && *policy == PolicySpec::Passive {
                     let width = report.slack.bin_width_ns();

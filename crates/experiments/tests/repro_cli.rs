@@ -1,0 +1,104 @@
+//! CLI-contract regression tests for the `repro` binary, driven
+//! through the real executable (`CARGO_BIN_EXE_repro`).
+//!
+//! The contract under test: every bad invocation — unknown flag,
+//! unwritable `--trace` destination — exits 2 with the usage text on
+//! stderr *before any shots run*, so a typo can never silently burn an
+//! hour-long experiment. The happy-path traced run is covered too,
+//! asserting the acceptance criterion that one `repro runtime --trace`
+//! recording carries spans from all four instrumented layers.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// A unique scratch directory per test, under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = repro(&["runtime", "--tracee"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag `--tracee`"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn trailing_trace_flag_exits_2_with_usage() {
+    let out = repro(&["runtime", "--trace"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn unwritable_trace_path_exits_2_before_any_shots() {
+    // The parent directory does not exist, so File::create must fail
+    // during argument validation — long before the experiment starts.
+    let out = repro(&[
+        "runtime",
+        "--trace",
+        "/nonexistent-repro-trace-dir/trace.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--trace: cannot write"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn traced_runtime_run_covers_all_four_layers() {
+    let dir = scratch("traced");
+    let trace = dir.join("trace.json");
+    let out = repro(&[
+        "runtime",
+        "--policy",
+        "dynamic-hybrid",
+        "--shots",
+        "2000",
+        "--out",
+        dir.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "repro failed: {}\n{}",
+        out.status,
+        stderr(&out)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(text.contains("\"traceEvents\""));
+    // One recording, spans/events from every instrumented layer:
+    // simulation, decoding (batch + streaming), runtime, experiments.
+    for name in [
+        "sim/sample_batch",
+        "sim/scan_block",
+        "decode/union-find",
+        "stream/commit",
+        "runtime/merge",
+        "exp/adaptive_batch",
+    ] {
+        assert!(text.contains(name), "trace missing {name}");
+    }
+    let summary =
+        std::fs::read_to_string(dir.join("trace.json.summary.json")).expect("summary file written");
+    assert!(summary.contains("\"spans\""));
+    assert!(summary.contains("runtime/execute"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

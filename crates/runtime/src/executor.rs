@@ -65,6 +65,10 @@ impl RuntimeConfig {
 /// with a cultivation-drawn phase offset — the paper's per-operation
 /// slack sources aggregated into whole-program runtime.
 pub fn execute(schedule: &ProgramSchedule, config: &RuntimeConfig) -> ProgramReport {
+    let span = ftqc_telemetry::span("runtime/execute");
+    if ftqc_telemetry::enabled() {
+        ftqc_telemetry::annotate("runtime/policy", &config.policy.to_string());
+    }
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut ctl = Controller::new();
     let nominal_ticks = (config.timing.base_cycle_ns.round() as u64).max(1);
@@ -142,6 +146,19 @@ pub fn execute(schedule: &ProgramSchedule, config: &RuntimeConfig) -> ProgramRep
         report.alignment_idle_ns += sync.alignment_idle_ticks;
         report.extra_rounds += sync.extra_rounds;
         report.slack.record(sync.slack_ns);
+        // The live Table-2 decomposition: one marker per merge carrying the
+        // slack this merge observed and where its idle was attributed.
+        if ftqc_telemetry::enabled() {
+            ftqc_telemetry::instant(
+                "runtime/merge",
+                &[
+                    ftqc_telemetry::Arg::new("slack_ns", sync.slack_ns),
+                    ftqc_telemetry::Arg::new("sync_idle_ns", sync.planned_idle_ticks as f64),
+                    ftqc_telemetry::Arg::new("alignment_idle_ns", sync.alignment_idle_ticks as f64),
+                    ftqc_telemetry::Arg::new("extra_rounds", sync.extra_rounds as f64),
+                ],
+            );
+        }
         for (_, plan) in &sync.plans {
             match plan.policy {
                 // A genuine Hybrid plan always runs z >= 1 extra rounds;
@@ -154,7 +171,10 @@ pub fn execute(schedule: &ProgramSchedule, config: &RuntimeConfig) -> ProgramRep
                     report.max_hybrid_residual_ns =
                         report.max_hybrid_residual_ns.max(plan.total_idle_ns());
                 }
-                _ if plan.policy != requested => report.fallbacks += 1,
+                _ if plan.policy != requested => {
+                    report.fallbacks += 1;
+                    ftqc_telemetry::counter("runtime/fallbacks", 1);
+                }
                 _ => {}
             }
         }
@@ -175,6 +195,11 @@ pub fn execute(schedule: &ProgramSchedule, config: &RuntimeConfig) -> ProgramRep
         }
     }
     report.total_ns = ctl.now();
+    ftqc_telemetry::counter("runtime/merges", report.merges);
+    span.end_with(&[
+        ftqc_telemetry::Arg::new("merges", report.merges as f64),
+        ftqc_telemetry::Arg::new("total_ns", report.total_ns as f64),
+    ]);
     report
 }
 

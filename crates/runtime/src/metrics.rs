@@ -80,6 +80,70 @@ impl SlackHistogram {
     pub fn max_ns(&self) -> f64 {
         self.max_ns
     }
+
+    /// The `q`-quantile of the recorded slack (`q` in `[0, 1]`),
+    /// estimated from the bin edges: the returned value is linearly
+    /// interpolated inside the bin holding the nearest-rank sample. The
+    /// final bin is open-ended (it absorbs overflow), so its upper edge
+    /// is taken as the observed [`max_ns`](SlackHistogram::max_ns); all
+    /// estimates are clamped to that max. 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let before = cumulative;
+            cumulative += c;
+            if c > 0 && cumulative >= target {
+                let frac = (target - before) as f64 / c as f64;
+                let edge = i as f64 * self.bin_width_ns;
+                let upper = if i + 1 == self.bins.len() {
+                    self.max_ns.max(edge + self.bin_width_ns)
+                } else {
+                    edge + self.bin_width_ns
+                };
+                return (edge + frac * (upper - edge)).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Folds `other` into `self`: bin-wise counts, total count, sum and
+    /// max all combine, so sharded recordings (e.g. per-worker
+    /// histograms) aggregate exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bin widths or bin
+    /// counts — merging differently shaped histograms would silently
+    /// misattribute samples.
+    pub fn merge(&mut self, other: &SlackHistogram) {
+        assert!(
+            self.bin_width_ns == other.bin_width_ns,
+            "cannot merge histograms with different bin widths ({} vs {})",
+            self.bin_width_ns,
+            other.bin_width_ns
+        );
+        assert!(
+            self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different bin counts ({} vs {})",
+            self.bins.len(),
+            other.bins.len()
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
 }
 
 /// Program-level result of executing a [`ProgramSchedule`] under one
@@ -183,5 +247,72 @@ mod tests {
     #[should_panic(expected = "bin width")]
     fn zero_bin_width_rejected() {
         SlackHistogram::new(0.0, 4);
+    }
+
+    #[test]
+    fn percentile_from_bin_edges() {
+        let mut h = SlackHistogram::new(100.0, 10);
+        // 100 samples spread one per unit through [0, 1000): bin i gets
+        // 10 samples, so the CDF is exactly linear in the bin edges.
+        for i in 0..100 {
+            h.record(i as f64 * 10.0);
+        }
+        assert!(
+            (h.percentile(0.5) - 500.0).abs() <= 100.0,
+            "{}",
+            h.percentile(0.5)
+        );
+        assert!((h.percentile(0.99) - 990.0).abs() <= 100.0);
+        assert_eq!(h.percentile(1.0), h.max_ns());
+        assert_eq!(h.percentile(0.0), 100.0 * (1.0 / 10.0));
+    }
+
+    #[test]
+    fn percentile_clamps_overflow_bin_to_max() {
+        let mut h = SlackHistogram::new(10.0, 2);
+        h.record(1_000.0); // overflow: lands in last bin [10, 20)-and-up
+        assert_eq!(h.percentile(0.99), 1_000.0);
+        assert!(h.percentile(0.5) <= h.max_ns());
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        let h = SlackHistogram::new(10.0, 2);
+        assert_eq!(h.percentile(0.99), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn percentile_rejects_out_of_range() {
+        SlackHistogram::new(10.0, 2).percentile(1.5);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = SlackHistogram::new(100.0, 4);
+        let mut b = SlackHistogram::new(100.0, 4);
+        for s in [0.0, 150.0] {
+            a.record(s);
+        }
+        for s in [399.0, 1_000.0] {
+            b.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.bins(), &[1, 1, 0, 2]);
+        assert_eq!(a.count(), 4);
+        assert!((a.mean_ns() - (0.0 + 150.0 + 399.0 + 1_000.0) / 4.0).abs() < 1e-9);
+        assert_eq!(a.max_ns(), 1_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin widths")]
+    fn merge_rejects_mismatched_width() {
+        SlackHistogram::new(100.0, 4).merge(&SlackHistogram::new(50.0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin counts")]
+    fn merge_rejects_mismatched_bin_count() {
+        SlackHistogram::new(100.0, 4).merge(&SlackHistogram::new(100.0, 8));
     }
 }

@@ -463,6 +463,9 @@ impl SyndromeScanner {
         if self.loaded == block {
             return;
         }
+        // Only the uncached path is traced: the cached early-return above
+        // runs once per shot and must stay free of even a relaxed load.
+        let span = ftqc_telemetry::span("sim/scan_block");
         debug_assert_eq!(
             self.num_detectors, batch.num_detectors,
             "SyndromeScanner used without begin_batch for this batch"
@@ -483,6 +486,10 @@ impl SyndromeScanner {
             }
         }
         self.loaded = block;
+        span.end_with(&[ftqc_telemetry::Arg::new(
+            "detectors",
+            self.num_detectors as f64,
+        )]);
     }
 
     /// The flagged detector indices of shot `s`, ascending, into a
@@ -500,6 +507,7 @@ impl SyndromeScanner {
                 bits &= bits - 1;
             }
         }
+        ftqc_telemetry::counter("sim/defects", out.len() as u64);
     }
 
     /// The flagged detector indices of shot `s` in `lo..hi`, ascending,
@@ -604,6 +612,7 @@ pub fn sample_batch_with(
     sim: &mut FrameSimulator,
     out: &mut SampleBatch,
 ) {
+    let span = ftqc_telemetry::span("sim/sample_batch");
     sim.reset(circuit.num_qubits(), shots, seed);
     sim.run(circuit);
     let words = sim.words;
@@ -646,6 +655,11 @@ pub fn sample_batch_with(
             _ => {}
         }
     }
+    ftqc_telemetry::counter("sim/shots", shots as u64);
+    span.end_with(&[
+        ftqc_telemetry::Arg::new("shots", shots as f64),
+        ftqc_telemetry::Arg::new("detectors", num_detectors as f64),
+    ]);
 }
 
 #[cfg(test)]

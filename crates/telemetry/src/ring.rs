@@ -1,0 +1,381 @@
+//! Per-thread preallocated ring-buffer recording.
+//!
+//! [`RingSink`] owns one fixed-capacity event buffer per recording thread,
+//! created lazily the first time that thread records and cached in
+//! thread-local storage keyed by sink identity. Steady-state recording is a
+//! TLS read, an uncontended per-thread mutex lock, and an in-capacity
+//! `Vec::push` — zero allocations, the same discipline `DecoderScratch`
+//! applies to decode state. When a buffer is full, new events are dropped
+//! and counted rather than growing the buffer or blocking.
+//!
+//! Counters are deliberately *not* ring events: each thread keeps a small
+//! fixed table of `(name, total)` pairs, so counter totals stay exact even
+//! when the event ring overflows.
+
+use crate::{Arg, TelemetrySink, MAX_ARGS};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default per-thread event capacity (events, not bytes).
+pub const DEFAULT_CAPACITY: usize = 1 << 15;
+
+/// Maximum distinct counter names per thread; excess names count as drops.
+const MAX_COUNTERS: usize = 64;
+
+/// The kind of a recorded [`Event`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span begin (Chrome `ph: "B"`).
+    Begin,
+    /// Span end (Chrome `ph: "E"`).
+    End,
+    /// Zero-duration marker (Chrome `ph: "i"`).
+    Instant,
+    /// Histogram sample; the value lives in `args[0]`.
+    Sample,
+}
+
+/// One recorded event. Fixed-size and `Copy` so ring writes never allocate.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Event kind.
+    pub kind: EventKind,
+    /// Event name (span, marker, or sample series).
+    pub name: &'static str,
+    /// Nanoseconds since the process time anchor ([`crate::now_ns`]).
+    pub ts_ns: u64,
+    /// Inline argument storage; only the first `num_args` entries are live.
+    pub args: [Arg; MAX_ARGS],
+    /// Number of live entries in `args`.
+    pub num_args: u8,
+}
+
+impl Event {
+    /// The live arguments of this event.
+    pub fn args(&self) -> &[Arg] {
+        &self.args[..self.num_args as usize]
+    }
+}
+
+fn pack_args(args: &[Arg]) -> ([Arg; MAX_ARGS], u8) {
+    let mut packed = [Arg::default(); MAX_ARGS];
+    let n = args.len().min(MAX_ARGS);
+    packed[..n].copy_from_slice(&args[..n]);
+    (packed, n as u8)
+}
+
+struct RingInner {
+    events: Vec<Event>,
+    dropped: u64,
+    counters: Vec<(&'static str, u64)>,
+}
+
+struct ThreadRing {
+    tid: u32,
+    inner: Mutex<RingInner>,
+}
+
+/// A [`TelemetrySink`] recording into per-thread fixed-capacity buffers.
+///
+/// Cheap to share (`Arc<RingSink>`); keep a clone of the `Arc` you
+/// [`crate::install`] so you can [`RingSink::snapshot`] after
+/// [`crate::uninstall`].
+pub struct RingSink {
+    /// Distinguishes this sink from earlier installs in the same process so
+    /// stale thread-local ring caches are never written into.
+    id: u64,
+    capacity: usize,
+    next_tid: AtomicU32,
+    threads: Mutex<Vec<Arc<ThreadRing>>>,
+    annotations: Mutex<Vec<(String, String)>>,
+}
+
+static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static RING_CACHE: RefCell<Option<(u64, Arc<ThreadRing>)>> = const { RefCell::new(None) };
+}
+
+impl RingSink {
+    /// A sink with the default per-thread capacity ([`DEFAULT_CAPACITY`]).
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A sink whose per-thread ring holds at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RingSink {
+            id: NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed),
+            capacity: capacity.max(1),
+            next_tid: AtomicU32::new(1),
+            threads: Mutex::new(Vec::new()),
+            annotations: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The calling thread's ring, creating and registering it on first use.
+    /// The creation path allocates (once per thread per sink); every later
+    /// call is a TLS read plus an `Arc` clone.
+    fn ring(&self) -> Arc<ThreadRing> {
+        RING_CACHE.with(|cache| {
+            let mut slot = cache.borrow_mut();
+            if let Some((sink_id, ring)) = slot.as_ref() {
+                if *sink_id == self.id {
+                    return ring.clone();
+                }
+            }
+            let ring = Arc::new(ThreadRing {
+                tid: self.next_tid.fetch_add(1, Ordering::Relaxed),
+                inner: Mutex::new(RingInner {
+                    events: Vec::with_capacity(self.capacity),
+                    dropped: 0,
+                    counters: Vec::with_capacity(MAX_COUNTERS),
+                }),
+            });
+            self.threads
+                .lock()
+                .expect("telemetry thread registry poisoned")
+                .push(ring.clone());
+            *slot = Some((self.id, ring.clone()));
+            ring
+        })
+    }
+
+    fn push(&self, event: Event) {
+        let ring = self.ring();
+        let mut inner = ring.inner.lock().expect("telemetry ring poisoned");
+        if inner.events.len() < inner.events.capacity() {
+            inner.events.push(event);
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    /// Copies out everything recorded so far.
+    ///
+    /// Thread buffers are locked one at a time, so a snapshot taken while
+    /// recording is still in progress is consistent per thread but not
+    /// globally atomic. Snapshot after [`crate::uninstall`] for a complete
+    /// recording.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let threads = self
+            .threads
+            .lock()
+            .expect("telemetry thread registry poisoned");
+        let mut out_threads = Vec::with_capacity(threads.len());
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        for ring in threads.iter() {
+            let inner = ring.inner.lock().expect("telemetry ring poisoned");
+            for &(name, total) in &inner.counters {
+                match counters.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, t)) => *t += total,
+                    None => counters.push((name.to_string(), total)),
+                }
+            }
+            out_threads.push(ThreadEvents {
+                tid: ring.tid,
+                dropped: inner.dropped,
+                events: inner.events.clone(),
+            });
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        out_threads.sort_by_key(|t| t.tid);
+        TraceSnapshot {
+            threads: out_threads,
+            counters,
+            annotations: self
+                .annotations
+                .lock()
+                .expect("telemetry annotations poisoned")
+                .clone(),
+        }
+    }
+
+    /// Discards all recorded events, counters, and annotations while keeping
+    /// every ring's capacity (no deallocation, no reallocation on reuse).
+    pub fn clear(&self) {
+        let threads = self
+            .threads
+            .lock()
+            .expect("telemetry thread registry poisoned");
+        for ring in threads.iter() {
+            let mut inner = ring.inner.lock().expect("telemetry ring poisoned");
+            inner.events.clear();
+            inner.counters.clear();
+            inner.dropped = 0;
+        }
+        self.annotations
+            .lock()
+            .expect("telemetry annotations poisoned")
+            .clear();
+    }
+}
+
+impl Default for RingSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetrySink for RingSink {
+    fn begin_span(&self, name: &'static str, ts_ns: u64) {
+        self.push(Event {
+            kind: EventKind::Begin,
+            name,
+            ts_ns,
+            args: [Arg::default(); MAX_ARGS],
+            num_args: 0,
+        });
+    }
+
+    fn end_span(&self, name: &'static str, ts_ns: u64, args: &[Arg]) {
+        let (args, num_args) = pack_args(args);
+        self.push(Event {
+            kind: EventKind::End,
+            name,
+            ts_ns,
+            args,
+            num_args,
+        });
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        let ring = self.ring();
+        let mut inner = ring.inner.lock().expect("telemetry ring poisoned");
+        if let Some(entry) = inner.counters.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 += delta;
+            return;
+        }
+        if inner.counters.len() < inner.counters.capacity() {
+            inner.counters.push((name, delta));
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    fn sample(&self, name: &'static str, value: f64) {
+        let (args, num_args) = pack_args(&[Arg::new("value", value)]);
+        self.push(Event {
+            kind: EventKind::Sample,
+            name,
+            ts_ns: crate::now_ns(),
+            args,
+            num_args,
+        });
+    }
+
+    fn instant(&self, name: &'static str, ts_ns: u64, args: &[Arg]) {
+        let (args, num_args) = pack_args(args);
+        self.push(Event {
+            kind: EventKind::Instant,
+            name,
+            ts_ns,
+            args,
+            num_args,
+        });
+    }
+
+    fn annotate(&self, key: &'static str, text: &str) {
+        self.annotations
+            .lock()
+            .expect("telemetry annotations poisoned")
+            .push((key.to_string(), text.to_string()));
+    }
+}
+
+/// Events recorded by one thread, in recording order.
+#[derive(Clone, Debug)]
+pub struct ThreadEvents {
+    /// Sink-local thread id (1-based, assigned on first record).
+    pub tid: u32,
+    /// Events dropped on this thread because its ring was full.
+    pub dropped: u64,
+    /// Recorded events, oldest first.
+    pub events: Vec<Event>,
+}
+
+/// A complete copy of one recording: per-thread event streams, exact counter
+/// totals, and free-form annotations.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    /// Per-thread event streams, sorted by tid.
+    pub threads: Vec<ThreadEvents>,
+    /// Counter totals aggregated across threads, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(key, text)` metadata recorded via [`crate::annotate`].
+    pub annotations: Vec<(String, String)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_drops_newest_and_counts() {
+        let sink = RingSink::with_capacity(2);
+        sink.begin_span("a", 1);
+        sink.end_span("a", 2, &[]);
+        sink.instant("b", 3, &[]);
+        let snap = sink.snapshot();
+        assert_eq!(snap.threads.len(), 1);
+        assert_eq!(snap.threads[0].events.len(), 2);
+        assert_eq!(snap.threads[0].dropped, 1);
+    }
+
+    #[test]
+    fn counters_survive_ring_overflow() {
+        let sink = RingSink::with_capacity(1);
+        sink.begin_span("a", 1);
+        sink.end_span("a", 2, &[]); // dropped: ring full
+        sink.counter("hits", 5);
+        sink.counter("hits", 7);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters, vec![("hits".to_string(), 12)]);
+        assert_eq!(snap.threads[0].dropped, 1);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let sink = RingSink::with_capacity(4);
+        sink.begin_span("a", 1);
+        sink.counter("c", 1);
+        sink.annotate("k", "v");
+        sink.clear();
+        let snap = sink.snapshot();
+        assert_eq!(snap.threads[0].events.len(), 0);
+        assert!(snap.counters.is_empty());
+        assert!(snap.annotations.is_empty());
+        // The ring is still usable at full capacity after clear().
+        for i in 0..4 {
+            sink.instant("x", i, &[]);
+        }
+        assert_eq!(sink.snapshot().threads[0].events.len(), 4);
+    }
+
+    #[test]
+    fn multi_thread_rings_are_distinct() {
+        let sink = std::sync::Arc::new(RingSink::with_capacity(8));
+        let s2 = sink.clone();
+        std::thread::spawn(move || {
+            s2.begin_span("worker", 1);
+            s2.end_span("worker", 2, &[]);
+        })
+        .join()
+        .unwrap();
+        sink.begin_span("main", 3);
+        let snap = sink.snapshot();
+        assert_eq!(snap.threads.len(), 2);
+        let tids: Vec<u32> = snap.threads.iter().map(|t| t.tid).collect();
+        assert_eq!(tids, vec![1, 2]);
+    }
+
+    #[test]
+    fn args_truncate_at_max() {
+        let sink = RingSink::with_capacity(4);
+        let args: Vec<Arg> = (0..6).map(|i| Arg::new("k", i as f64)).collect();
+        sink.end_span("a", 1, &args);
+        let snap = sink.snapshot();
+        assert_eq!(snap.threads[0].events[0].args().len(), MAX_ARGS);
+    }
+}

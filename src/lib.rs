@@ -23,6 +23,7 @@
 //! | [`estimator`] | `ftqc-estimator` | QRE-style resource estimation |
 //! | [`runtime`] | `ftqc-runtime` | **whole-program discrete-event runtime** |
 //! | [`experiments`] | `ftqc-experiments` | per-figure reproduction |
+//! | [`telemetry`] | `ftqc-telemetry` | zero-overhead tracing, counters, trace export |
 //!
 //! # Quickstart
 //!
@@ -120,6 +121,15 @@
 //! shot's commits and proves streaming ≡ batch over 20 000 shots; the
 //! `decode-latency` bench scenario tracks the per-round latency
 //! distribution of this path.
+//!
+//! To see *where inside a run* the time goes, install a
+//! [`telemetry::RingSink`] before running any of the above and export
+//! the recording as a Perfetto-loadable Chrome trace — every layer
+//! (sampling, scanning, decoding, streaming commits, runtime merges,
+//! adaptive stop rules) emits spans and counters when telemetry is
+//! enabled, and compiles down to one relaxed atomic load when it is
+//! not. `cargo run --release --example traced_runtime` walks through a
+//! traced policy sweep end to end.
 
 pub use ftqc_circuit as circuit;
 pub use ftqc_decoder as decoder;
@@ -132,3 +142,4 @@ pub use ftqc_runtime as runtime;
 pub use ftqc_sim as sim;
 pub use ftqc_surface as surface;
 pub use ftqc_sync as sync;
+pub use ftqc_telemetry as telemetry;
