@@ -1,0 +1,427 @@
+//! A minimal hand-rolled Rust lexer — just enough to lint reliably.
+//!
+//! The build environment is offline, so `syn` is not available; the
+//! source lints instead run over a *scrubbed* copy of each file in
+//! which comments and string/char literals are blanked out (replaced
+//! by spaces, newlines preserved). Token searches over the scrubbed
+//! bytes can then never match inside a comment or literal, and byte
+//! offsets/line numbers in the scrubbed copy are identical to the
+//! original. Comments are kept aside with their line numbers for the
+//! `// SAFETY:` audit and the `analyzer: allow(...)` region markers.
+
+/// One comment (line or block), with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// Raw comment text including the `//` / `/*` introducer.
+    pub text: String,
+}
+
+/// A source file with comments and literals blanked out.
+#[derive(Debug, Clone)]
+pub struct Scrubbed {
+    /// The scrubbed bytes: same length and line structure as the
+    /// input, with comment/literal bytes replaced by spaces.
+    pub bytes: Vec<u8>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// Byte offset of each line start (line 1 at `line_starts[0]`).
+    line_starts: Vec<usize>,
+}
+
+impl Scrubbed {
+    /// The 1-based line containing byte offset `pos`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= pos)
+    }
+
+    /// Number of lines.
+    pub fn num_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+/// Whether `b` can appear in an identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blanks `bytes[start..end]` with spaces, preserving newlines.
+pub fn blank_region(bytes: &mut [u8], start: usize, end: usize) {
+    for b in &mut bytes[start..end] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Finds `pat` in `bytes` at or after `from`.
+pub fn find(bytes: &[u8], pat: &[u8], from: usize) -> Option<usize> {
+    if pat.is_empty() || bytes.len() < pat.len() {
+        return None;
+    }
+    (from..=bytes.len() - pat.len()).find(|&i| &bytes[i..i + pat.len()] == pat)
+}
+
+/// Byte offset of the delimiter matching the opener at `open`
+/// (`bytes[open]` must be `(`, `[` or `{`). Counts only the same
+/// delimiter family — callers pass scrubbed bytes, where delimiters
+/// are balanced because literals and comments are gone.
+pub fn match_delim(bytes: &[u8], open: usize) -> Option<usize> {
+    let (o, c) = match bytes[open] {
+        b'(' => (b'(', b')'),
+        b'[' => (b'[', b']'),
+        b'{' => (b'{', b'}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == o {
+            depth += 1;
+        } else if b == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Scrubs `src`: blanks comments and string/char literals, recording
+/// comments with their line numbers.
+pub fn scrub(src: &str) -> Scrubbed {
+    let mut bytes = src.as_bytes().to_vec();
+    let mut line_starts = vec![0usize];
+    for (i, &b) in src.as_bytes().iter().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |pos: usize| line_starts.partition_point(|&s| s <= pos);
+
+    let mut comments = Vec::new();
+    let n = bytes.len();
+    let mut i = 0usize;
+    while i < n {
+        let b = bytes[i];
+        if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            let end = find(&bytes, b"\n", i).unwrap_or(n);
+            comments.push(Comment {
+                line: line_of(i),
+                text: src[i..end].to_string(),
+            });
+            blank_region(&mut bytes, i, end);
+            i = end;
+        } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            // Block comment; Rust block comments nest.
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if bytes[j] == b'/' && j + 1 < n && bytes[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && j + 1 < n && bytes[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            comments.push(Comment {
+                line: line_of(i),
+                text: src[i..j.min(n)].to_string(),
+            });
+            blank_region(&mut bytes, i, j.min(n));
+            i = j;
+        } else if b == b'"' {
+            let end = scan_string(&bytes, i);
+            blank_region(&mut bytes, i, end);
+            i = end;
+        } else if (b == b'r' || b == b'b') && !prev_is_ident(&bytes, i) {
+            // Possible raw/byte string: r"", r#""#, b"", br"", ...
+            match scan_raw_or_byte_string(&bytes, i) {
+                Some(end) => {
+                    // Keep the prefix letters; blank from the first
+                    // quote/hash so identifiers are unaffected.
+                    blank_region(&mut bytes, i + 1, end);
+                    i = end;
+                }
+                None => i += 1,
+            }
+        } else if b == b'\'' {
+            match scan_char_literal(src, i) {
+                Some(end) => {
+                    blank_region(&mut bytes, i, end);
+                    i = end;
+                }
+                None => {
+                    // A lifetime: skip the quote and its identifier so
+                    // the ident is never mistaken for a literal opener.
+                    i += 1;
+                    while i < n && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    Scrubbed {
+        bytes,
+        comments,
+        line_starts,
+    }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(bytes[i - 1])
+}
+
+/// End offset (exclusive) of the plain string starting at `open`.
+fn scan_string(bytes: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// End offset of a raw or byte string starting at `start` (which is
+/// `r` or `b`), or `None` if `start` does not open one.
+fn scan_raw_or_byte_string(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut i = start;
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+        if i < bytes.len() && bytes[i] == b'r' {
+            raw = true;
+            i += 1;
+        }
+    } else {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while i < bytes.len() && bytes[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return None;
+    }
+    i += 1;
+    if !raw {
+        // Byte string: escapes apply.
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(i + 1),
+                _ => i += 1,
+            }
+        }
+        return Some(bytes.len());
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    while let Some(q) = find(bytes, b"\"", i) {
+        let tail = &bytes[q + 1..];
+        if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+            return Some(q + 1 + hashes);
+        }
+        i = q + 1;
+    }
+    Some(bytes.len())
+}
+
+/// End offset of the char literal at `open` (a `'`), or `None` if it
+/// is a lifetime.
+fn scan_char_literal(src: &str, open: usize) -> Option<usize> {
+    let rest = &src[open + 1..];
+    let mut chars = rest.char_indices();
+    let (_, first) = chars.next()?;
+    if first == '\\' {
+        // Escaped char: scan to the closing quote.
+        let bytes = rest.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'\'' => return Some(open + 1 + i + 1),
+                _ => i += 1,
+            }
+        }
+        return Some(src.len());
+    }
+    if first == '\'' {
+        return None; // `''` never a char; treat as lifetime-ish
+    }
+    // `'c'` with a single (possibly multibyte) char then a quote.
+    let next = chars.next();
+    match next {
+        Some((off, '\'')) => Some(open + 1 + off + 1),
+        _ => None,
+    }
+}
+
+/// Blanks every `#[cfg(test)]`-gated item (mod, fn, impl, use, ...)
+/// in scrubbed bytes. After the attribute, the item extends to the
+/// matching close brace of its first `{`, or to the first `;` at
+/// paren/bracket depth zero for brace-less items.
+pub fn blank_cfg_test(s: &mut Scrubbed) {
+    loop {
+        let start = match find_cfg_test(&s.bytes) {
+            Some(p) => p,
+            None => return,
+        };
+        // End of the attribute: the `]` matching its `[`.
+        let open_bracket = start + 1;
+        let attr_end = match match_delim(&s.bytes, open_bracket) {
+            Some(e) => e,
+            None => {
+                let len = s.bytes.len();
+                blank_region(&mut s.bytes, start, len);
+                return;
+            }
+        };
+        let mut paren = 0isize;
+        let mut bracket = 0isize;
+        let mut j = attr_end + 1;
+        let mut end = s.bytes.len();
+        while j < s.bytes.len() {
+            match s.bytes[j] {
+                b'(' => paren += 1,
+                b')' => paren -= 1,
+                b'[' => bracket += 1,
+                b']' => bracket -= 1,
+                b';' if paren == 0 && bracket == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                b'{' => {
+                    end = match_delim(&s.bytes, j).map_or(s.bytes.len(), |c| c + 1);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        blank_region(&mut s.bytes, start, end);
+    }
+}
+
+fn find_cfg_test(bytes: &[u8]) -> Option<usize> {
+    let a = find(bytes, b"#[cfg(test)]", 0);
+    let b = find(bytes, b"#[cfg(all(test", 0);
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(s: &Scrubbed) -> String {
+        String::from_utf8(s.bytes.clone()).unwrap()
+    }
+
+    #[test]
+    fn comments_are_blanked_and_recorded() {
+        let src = "let a = 1; // Vec::new in a comment\n/* vec![\n multi */ let b = 2;\n";
+        let s = scrub(src);
+        let t = text(&s);
+        assert!(!t.contains("Vec::new"));
+        assert!(!t.contains("vec!"));
+        assert!(t.contains("let a = 1;"));
+        assert!(t.contains("let b = 2;"));
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].line, 1);
+        assert!(s.comments[0].text.contains("Vec::new"));
+        assert_eq!(s.comments[1].line, 2);
+        // Length and line structure preserved.
+        assert_eq!(t.len(), src.len());
+        assert_eq!(t.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn strings_and_chars_are_blanked_lifetimes_are_not() {
+        let src = r#"fn f<'a>(x: &'a str) { let s = "Vec::new"; let c = '"'; let e = '\''; }"#;
+        let s = scrub(src);
+        let t = text(&s);
+        assert!(!t.contains("Vec::new"));
+        assert!(t.contains("fn f<'a>(x: &'a str)"));
+        // The char literals (incl. a quote char) must not eat the rest.
+        assert!(t.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let a = r#\"has \"quotes\" and vec![ stuff\"#; let b = br\"x\"; let c = b\"y\";";
+        let s = scrub(src);
+        let t = text(&s);
+        assert!(!t.contains("vec!"));
+        assert!(!t.contains("quotes"));
+        assert!(t.contains("let b ="));
+        assert!(t.contains("let c ="));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;";
+        let s = scrub(src);
+        assert!(text(&s).contains("let x = 1;"));
+        assert!(!text(&s).contains("still comment"));
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_blanked() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let v = 1; }\n}\nfn also_hot() {}\n";
+        let mut s = scrub(src);
+        blank_cfg_test(&mut s);
+        let t = text(&s);
+        assert!(t.contains("fn hot()"));
+        assert!(t.contains("fn also_hot()"));
+        assert!(!t.contains("mod tests"));
+        assert!(!t.contains("let v = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_attributed_fn_and_use_are_blanked() {
+        let src = "#[cfg(test)]\nfn helper(x: [u8; 3]) -> u8 { x[0] }\n#[cfg(test)]\nuse std::fmt;\nfn keep() {}\n";
+        let mut s = scrub(src);
+        blank_cfg_test(&mut s);
+        let t = text(&s);
+        assert!(!t.contains("helper"));
+        assert!(!t.contains("std::fmt"));
+        assert!(t.contains("fn keep()"));
+    }
+
+    #[test]
+    fn cfg_all_test_is_blanked() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() {} }\nfn keep() {}\n";
+        let mut s = scrub(src);
+        blank_cfg_test(&mut s);
+        let t = text(&s);
+        assert!(!t.contains("fn f()"));
+        assert!(t.contains("fn keep()"));
+    }
+
+    #[test]
+    fn line_of_is_one_based() {
+        let s = scrub("a\nb\nc");
+        assert_eq!(s.line_of(0), 1);
+        assert_eq!(s.line_of(2), 2);
+        assert_eq!(s.line_of(4), 3);
+        assert_eq!(s.num_lines(), 3);
+    }
+}

@@ -1,0 +1,481 @@
+//! Pass 1 — source lints over the scrubbed workspace sources.
+//!
+//! Three lints share the [`lexer`] front-end:
+//!
+//! - **`FTQC001` hot-path alloc**: files listed under `[alloc-free]`
+//!   in the manifest must not contain allocating constructs outside
+//!   `#[cfg(test)]` items or `// analyzer: allow(alloc)` regions.
+//! - **`FTQC002` unguarded telemetry**: files listed under
+//!   `[telemetry-guarded]` must keep `instant`/`sample`/`counter`
+//!   recording calls inside an `if ftqc_telemetry::enabled() { ... }`
+//!   gate (the recording functions self-gate, but an ungated call
+//!   still pays argument construction on a ~40 ns path).
+//! - **`FTQC003` undocumented unsafe**: every `unsafe` block or
+//!   `unsafe impl` requires a `// SAFETY:` comment directly above.
+//!
+//! Cold constructor code inside an alloc-free file is annotated with a
+//! paired comment region:
+//!
+//! ```text
+//! // analyzer: allow(alloc) -- one-time arena construction
+//! let mut v = Vec::new();
+//! // analyzer: end-allow(alloc)
+//! ```
+//!
+//! An unterminated region extends to end of file.
+
+use crate::diag::{Code, Diagnostic};
+use crate::lexer::{self, Scrubbed};
+use crate::manifest::Manifest;
+use std::path::{Path, PathBuf};
+
+/// Allocating constructs banned on hot paths. `dotted` entries must
+/// match a method position (preceded by `.`), the rest are free
+/// tokens.
+const ALLOC_TOKENS: &[&str] = &[
+    "Vec::new",
+    "vec!",
+    "Box::new",
+    "format!",
+    "String::from",
+    "HashMap::new",
+];
+const ALLOC_METHODS: &[&str] = &[".to_vec", ".collect", ".clone()"];
+
+/// Telemetry recording entry points that must sit under a gate.
+const TELEMETRY_CALLS: &[&str] = &["::instant", "::sample", "::counter"];
+
+/// Lints one source file. `rel_path` is the workspace-relative path
+/// used in diagnostics and manifest lookups.
+pub fn lint_file(rel_path: &str, src: &str, manifest: &Manifest) -> Vec<Diagnostic> {
+    let scrubbed = lexer::scrub(src);
+    let mut diags = lint_unsafe(rel_path, &scrubbed);
+
+    if manifest.is_alloc_free(rel_path) || manifest.is_telemetry_guarded(rel_path) {
+        let mut filtered = scrubbed.clone();
+        lexer::blank_cfg_test(&mut filtered);
+        if manifest.is_alloc_free(rel_path) {
+            diags.extend(lint_alloc(rel_path, &filtered));
+        }
+        if manifest.is_telemetry_guarded(rel_path) {
+            diags.extend(lint_telemetry(rel_path, &filtered));
+        }
+    }
+    diags.sort_by(|a, b| (a.line, a.code.as_str()).cmp(&(b.line, b.code.as_str())));
+    diags
+}
+
+/// Lints every `.rs` file under `root`, honouring the manifest.
+///
+/// Skips `target/`, `.git/`, `results/` and any directory named
+/// `fixtures` (lint-fixture corpora are deliberately bad). Returns an
+/// IO error if a manifest-listed file does not exist — a dangling
+/// manifest entry means an obligation silently stopped being checked.
+pub fn lint_workspace(root: &Path, manifest: &Manifest) -> std::io::Result<Vec<Diagnostic>> {
+    for listed in manifest
+        .alloc_free
+        .iter()
+        .chain(&manifest.telemetry_guarded)
+    {
+        if !root.join(listed).is_file() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("manifest lists `{listed}` but it does not exist under {root:?}"),
+            ));
+        }
+    }
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        diags.extend(lint_file(rel, &src, manifest));
+    }
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.code.as_str()).cmp(&(&b.file, b.line, b.code.as_str()))
+    });
+    Ok(diags)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | ".git" | "results" | "fixtures") {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `(start_line, end_line)` ranges opened by
+/// `analyzer: allow(<kind>)` comments and closed by
+/// `analyzer: end-allow(<kind>)`.
+fn allow_ranges(s: &Scrubbed, kind: &str) -> Vec<(usize, usize)> {
+    let open_tag = format!("analyzer: allow({kind})");
+    let close_tag = format!("analyzer: end-allow({kind})");
+    let mut ranges = Vec::new();
+    let mut open: Option<usize> = None;
+    for c in &s.comments {
+        if c.text.contains(&close_tag) {
+            if let Some(start) = open.take() {
+                ranges.push((start, c.line));
+            }
+        } else if c.text.contains(&open_tag) {
+            open.get_or_insert(c.line);
+        }
+    }
+    if let Some(start) = open {
+        ranges.push((start, usize::MAX));
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// `FTQC001`: allocating constructs outside test code and allow
+/// regions.
+fn lint_alloc(rel_path: &str, filtered: &Scrubbed) -> Vec<Diagnostic> {
+    let allowed = allow_ranges(filtered, "alloc");
+    let mut diags = Vec::new();
+    let bytes = &filtered.bytes;
+    let mut report = |pos: usize, token: &str| {
+        let line = filtered.line_of(pos);
+        if !in_ranges(&allowed, line) {
+            diags.push(Diagnostic::new(
+                Code::HotPathAlloc,
+                rel_path,
+                line,
+                format!(
+                    "`{token}` allocates on a hot path; move it to a constructor or wrap the \
+                     region in `// analyzer: allow(alloc)` with a justification"
+                ),
+            ));
+        }
+    };
+    for &token in ALLOC_TOKENS {
+        let pat = token.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = lexer::find(bytes, pat, from) {
+            from = pos + 1;
+            let before_ok = pos == 0 || !lexer::is_ident_byte(bytes[pos - 1]);
+            let end = pos + pat.len();
+            let after_ok = end >= bytes.len() || !lexer::is_ident_byte(bytes[end]);
+            if before_ok && after_ok {
+                report(pos, token);
+            }
+        }
+    }
+    for &token in ALLOC_METHODS {
+        let pat = token.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = lexer::find(bytes, pat, from) {
+            from = pos + 1;
+            let end = pos + pat.len();
+            let after_ok = end >= bytes.len() || !lexer::is_ident_byte(bytes[end]);
+            if after_ok {
+                report(pos, token);
+            }
+        }
+    }
+    diags
+}
+
+/// `FTQC002`: telemetry recording calls outside `enabled()` gates.
+fn lint_telemetry(rel_path: &str, filtered: &Scrubbed) -> Vec<Diagnostic> {
+    let allowed = allow_ranges(filtered, "telemetry");
+    let bytes = &filtered.bytes;
+    // Byte spans of `{ ... }` blocks that follow an `enabled()` call —
+    // the gate bodies. `if ftqc_telemetry::enabled() { ... }` is the
+    // canonical form; any block headed by an `enabled()` condition
+    // counts.
+    let mut gated: Vec<(usize, usize)> = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = lexer::find(bytes, b"enabled()", from) {
+        from = pos + 1;
+        if pos > 0 && lexer::is_ident_byte(bytes[pos - 1]) {
+            continue;
+        }
+        if let Some(open) = lexer::find(bytes, b"{", pos) {
+            if let Some(close) = lexer::match_delim(bytes, open) {
+                gated.push((open, close));
+            }
+        }
+    }
+    let mut diags = Vec::new();
+    for &call in TELEMETRY_CALLS {
+        let pat = call.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = lexer::find(bytes, pat, from) {
+            from = pos + 1;
+            let end = pos + pat.len();
+            // Must be a call: `::counter(`, not `::counter_reset` etc.
+            if end >= bytes.len() || bytes[end] != b'(' {
+                continue;
+            }
+            let line = filtered.line_of(pos);
+            let guarded = gated.iter().any(|&(lo, hi)| lo < pos && pos < hi);
+            if !guarded && !in_ranges(&allowed, line) {
+                diags.push(Diagnostic::new(
+                    Code::UnguardedTelemetry,
+                    rel_path,
+                    line,
+                    format!(
+                        "telemetry `{}` call outside an `enabled()` gate on a hot path; wrap it \
+                         in `if ftqc_telemetry::enabled() {{ ... }}`",
+                        &call[2..]
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// `FTQC003`: `unsafe` blocks and impls without a `// SAFETY:`
+/// comment directly above (or trailing on the same line).
+fn lint_unsafe(rel_path: &str, scrubbed: &Scrubbed) -> Vec<Diagnostic> {
+    let bytes = &scrubbed.bytes;
+    // Lines that carry a comment, and whether any comment on/above a
+    // line mentions SAFETY.
+    let comment_lines: std::collections::HashMap<usize, bool> = scrubbed
+        .comments
+        .iter()
+        .flat_map(|c| {
+            let span = c.text.matches('\n').count();
+            let safety = c.text.contains("SAFETY");
+            (c.line..=c.line + span).map(move |l| (l, safety))
+        })
+        .fold(std::collections::HashMap::new(), |mut m, (l, s)| {
+            *m.entry(l).or_insert(false) |= s;
+            m
+        });
+
+    let mut diags = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = lexer::find(bytes, b"unsafe", from) {
+        from = pos + 1;
+        let end = pos + b"unsafe".len();
+        let before_ok = pos == 0 || !lexer::is_ident_byte(bytes[pos - 1]);
+        let after_ok = end >= bytes.len() || !lexer::is_ident_byte(bytes[end]);
+        if !before_ok || !after_ok {
+            continue;
+        }
+        // The construct: next non-whitespace token.
+        let mut j = end;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let construct = if j < bytes.len() && bytes[j] == b'{' {
+            "block"
+        } else {
+            let mut k = j;
+            while k < bytes.len() && lexer::is_ident_byte(bytes[k]) {
+                k += 1;
+            }
+            match &bytes[j..k] {
+                b"impl" => "impl",
+                // `unsafe fn` / `unsafe trait` / `unsafe extern` are
+                // declarations; their *uses* are what need auditing.
+                _ => continue,
+            }
+        };
+        let line = scrubbed.line_of(pos);
+        let documented = comment_lines.get(&line).copied().unwrap_or(false)
+            || contiguous_safety_above(&comment_lines, line);
+        if !documented {
+            diags.push(Diagnostic::new(
+                Code::UndocumentedUnsafe,
+                rel_path,
+                line,
+                format!("`unsafe` {construct} without a `// SAFETY:` comment directly above"),
+            ));
+        }
+    }
+    diags
+}
+
+/// Whether the contiguous run of comment lines ending directly above
+/// `line` mentions SAFETY.
+fn contiguous_safety_above(
+    comment_lines: &std::collections::HashMap<usize, bool>,
+    line: usize,
+) -> bool {
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        match comment_lines.get(&l) {
+            Some(true) => return true,
+            Some(false) => continue,
+            None => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest_all(path: &str) -> Manifest {
+        Manifest {
+            alloc_free: vec![path.to_string()],
+            telemetry_guarded: vec![path.to_string()],
+        }
+    }
+
+    #[test]
+    fn alloc_lint_fires_outside_tests_and_allows() {
+        let src = r#"
+fn hot() {
+    let v = Vec::new();
+}
+// analyzer: allow(alloc) -- constructor
+fn cold() {
+    let v = vec![1, 2, 3];
+}
+// analyzer: end-allow(alloc)
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let v = Vec::new();
+    }
+}
+"#;
+        let diags = lint_file("x.rs", src, &manifest_all("x.rs"));
+        let allocs: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::HotPathAlloc)
+            .collect();
+        assert_eq!(allocs.len(), 1, "{diags:?}");
+        assert_eq!(allocs[0].line, 3);
+    }
+
+    #[test]
+    fn alloc_lint_skips_comments_strings_and_identifier_prefixes() {
+        let src = r#"
+fn hot() {
+    // Vec::new is fine in a comment
+    let s = "vec![ in a string";
+    let c = my_collection(); // not `.collect`
+    smallvec_like();
+}
+fn smallvec_like() {}
+fn my_collection() {}
+"#;
+        let diags = lint_file("x.rs", src, &manifest_all("x.rs"));
+        assert!(
+            diags.iter().all(|d| d.code != Code::HotPathAlloc),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn clone_and_collect_method_positions() {
+        let src = "fn hot(x: &[u32]) { let a = x.to_vec(); let b: Vec<u32> = x.iter().collect(); let c = a.clone(); let d = Arc::clone(&e); }\nfn e() {}\n";
+        let diags = lint_file("x.rs", src, &manifest_all("x.rs"));
+        let allocs: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::HotPathAlloc)
+            .collect();
+        // to_vec, collect, clone — but not Arc::clone.
+        assert_eq!(allocs.len(), 3, "{diags:?}");
+    }
+
+    #[test]
+    fn telemetry_lint_requires_enabled_gate() {
+        let src = r#"
+fn hot() {
+    ftqc_telemetry::counter("a", 1);
+    if ftqc_telemetry::enabled() {
+        ftqc_telemetry::counter("b", 1);
+        ftqc_telemetry::instant("c", &[]);
+    }
+    let s = ftqc_telemetry::span("d");
+}
+"#;
+        let diags = lint_file("x.rs", src, &manifest_all("x.rs"));
+        let tele: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::UnguardedTelemetry)
+            .collect();
+        assert_eq!(tele.len(), 1, "{diags:?}");
+        assert_eq!(tele[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_lint_accepts_safety_comment_runs() {
+        let src = r#"
+fn a() {
+    // SAFETY: index is bounds-checked by the caller.
+    unsafe { do_it() };
+}
+fn b() {
+    unsafe { do_it() };
+}
+// Part of a longer explanation.
+// SAFETY: the pointer is valid for the slot's lifetime.
+unsafe impl Send for X {}
+unsafe impl Sync for X {}
+unsafe fn do_it() {}
+struct X;
+"#;
+        let diags = lint_file("x.rs", src, &Manifest::default());
+        let unsafes: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::UndocumentedUnsafe)
+            .collect();
+        // Line 7 block and line 12 impl (the Sync impl has only the
+        // Send impl above it, not a comment); `unsafe fn` is exempt.
+        assert_eq!(unsafes.len(), 2, "{diags:?}");
+        assert_eq!(unsafes[0].line, 7);
+        assert_eq!(unsafes[1].line, 12);
+    }
+
+    #[test]
+    fn workspace_walk_skips_fixtures_and_checks_manifest_paths() {
+        let dir = std::env::temp_dir().join(format!("analyzer_walk_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::create_dir_all(dir.join("tests/fixtures")).unwrap();
+        std::fs::write(dir.join("src/hot.rs"), "fn f() { let v = Vec::new(); }\n").unwrap();
+        std::fs::write(
+            dir.join("tests/fixtures/bad.rs"),
+            "fn f() { unsafe { x() } }\n",
+        )
+        .unwrap();
+        let manifest = Manifest {
+            alloc_free: vec!["src/hot.rs".to_string()],
+            telemetry_guarded: vec![],
+        };
+        let diags = lint_workspace(&dir, &manifest).unwrap();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::HotPathAlloc);
+        assert_eq!(diags[0].file, "src/hot.rs");
+
+        let dangling = Manifest {
+            alloc_free: vec!["src/gone.rs".to_string()],
+            telemetry_guarded: vec![],
+        };
+        assert!(lint_workspace(&dir, &dangling).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,66 @@
+//! The `ftqc-analyzer` CLI: the source-lint pass as a CI gate.
+//!
+//! ```text
+//! ftqc-analyzer lint [--root DIR] [--json] [--deny]
+//! ```
+//!
+//! Lints every `.rs` file under `--root` (default `.`) against the
+//! manifest at `<root>/analyzer.manifest`, suppressing entries from
+//! `<root>/analyzer.allow`. Diagnostics print to stdout in the human
+//! `CODE file:line: message` format, or as JSON with `--json`. With
+//! `--deny` any surviving diagnostic exits 1 (the CI configuration);
+//! usage and configuration errors exit 2.
+
+use ftqc_analyzer::{lint_tree, render_human, render_json};
+use std::path::PathBuf;
+
+fn usage_and_exit() -> ! {
+    eprintln!("usage: ftqc-analyzer lint [--root DIR] [--json] [--deny]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    match iter.next().map(String::as_str) {
+        Some("lint") => {}
+        _ => usage_and_exit(),
+    }
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut deny = false;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => usage_and_exit(),
+            },
+            "--json" => json = true,
+            "--deny" => deny = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage_and_exit();
+            }
+        }
+    }
+    let diags = match lint_tree(&root) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("ftqc-analyzer: {e}");
+            std::process::exit(2);
+        }
+    };
+    if json {
+        print!("{}", render_json(&diags));
+    } else {
+        print!("{}", render_human(&diags));
+        if diags.is_empty() {
+            println!("ftqc-analyzer: clean");
+        } else {
+            println!("ftqc-analyzer: {} diagnostic(s)", diags.len());
+        }
+    }
+    if deny && !diags.is_empty() {
+        std::process::exit(1);
+    }
+}

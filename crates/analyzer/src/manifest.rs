@@ -1,0 +1,100 @@
+//! The checked-in lint manifest: which files carry which hot-path
+//! obligations.
+//!
+//! Format (one workspace-relative path per line, `#` comments):
+//!
+//! ```text
+//! [alloc-free]
+//! crates/decoder/src/union_find.rs
+//!
+//! [telemetry-guarded]
+//! crates/decoder/src/streaming.rs
+//! ```
+//!
+//! `[alloc-free]` files must not allocate outside `#[cfg(test)]` code
+//! or `analyzer: allow(alloc)` regions (lint `FTQC001`);
+//! `[telemetry-guarded]` files must keep telemetry recording calls
+//! under an `enabled()` gate (lint `FTQC002`). The unsafe audit
+//! (`FTQC003`) needs no manifest — it applies to every workspace file.
+
+/// Parsed manifest: the two obligation lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Files that must not allocate on their non-test paths.
+    pub alloc_free: Vec<String>,
+    /// Files whose telemetry calls must be `enabled()`-gated.
+    pub telemetry_guarded: Vec<String>,
+}
+
+impl Manifest {
+    /// Parses manifest text; unknown sections and entries outside a
+    /// section are errors so a typo cannot silently drop obligations.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut manifest = Manifest::default();
+        let mut section: Option<&mut Vec<String>> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = match name {
+                    "alloc-free" => Some(&mut manifest.alloc_free),
+                    "telemetry-guarded" => Some(&mut manifest.telemetry_guarded),
+                    other => {
+                        return Err(format!(
+                            "manifest line {}: unknown section `[{other}]`",
+                            idx + 1
+                        ))
+                    }
+                };
+                continue;
+            }
+            match section {
+                Some(ref mut list) => list.push(line.to_string()),
+                None => {
+                    return Err(format!(
+                        "manifest line {}: entry `{line}` outside any section",
+                        idx + 1
+                    ))
+                }
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Whether `path` (workspace-relative, `/`-separated) is listed as
+    /// alloc-free.
+    pub fn is_alloc_free(&self, path: &str) -> bool {
+        self.alloc_free.iter().any(|p| p == path)
+    }
+
+    /// Whether `path` is listed as telemetry-guarded.
+    pub fn is_telemetry_guarded(&self, path: &str) -> bool {
+        self.telemetry_guarded.iter().any(|p| p == path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_comments() {
+        let m = Manifest::parse(
+            "# header\n[alloc-free]\na.rs # hot\nb.rs\n\n[telemetry-guarded]\nb.rs\n",
+        )
+        .unwrap();
+        assert_eq!(m.alloc_free, vec!["a.rs", "b.rs"]);
+        assert_eq!(m.telemetry_guarded, vec!["b.rs"]);
+        assert!(m.is_alloc_free("a.rs"));
+        assert!(!m.is_alloc_free("c.rs"));
+        assert!(m.is_telemetry_guarded("b.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_section_and_stray_entry() {
+        assert!(Manifest::parse("[allocfree]\n").is_err());
+        assert!(Manifest::parse("a.rs\n").is_err());
+    }
+}

@@ -1,0 +1,6 @@
+//! FTQC001 fixture: exactly one hot-path allocation.
+
+pub fn decode_round() {
+    let buffer: Vec<u32> = Vec::new();
+    drop(buffer);
+}

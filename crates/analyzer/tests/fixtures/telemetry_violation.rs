@@ -1,0 +1,6 @@
+//! FTQC002 fixture: exactly one telemetry call outside an
+//! `enabled()` gate.
+
+pub fn scan_round(defects: usize) {
+    ftqc_telemetry::counter("fixture/defects", defects as u64);
+}

@@ -1,0 +1,6 @@
+//! FTQC003 fixture: exactly one `unsafe` block without a
+//! `// SAFETY:` comment.
+
+pub fn read_slot(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}

@@ -62,25 +62,35 @@ impl Default for CountingAlloc {
     }
 }
 
+// SAFETY: pure pass-through to `System` plus two relaxed atomic
+// bumps; every GlobalAlloc contract obligation is delegated unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         INSTALLED.store(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; the caller upholds `layout`
+        // validity per the GlobalAlloc contract.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         INSTALLED.store(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; the caller upholds `layout`
+        // validity per the GlobalAlloc contract.
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; the caller guarantees `ptr` came
+        // from this allocator with `layout`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; the caller guarantees `ptr` came
+        // from this allocator with `layout`.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

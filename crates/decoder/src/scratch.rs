@@ -221,6 +221,8 @@ pub(crate) struct UfScratch {
     bound_edges: u32,
 }
 
+// analyzer: allow(alloc) -- constructor: empty vecs, no heap touched
+// until `bound()` preallocates the arenas.
 impl Default for UfScratch {
     fn default() -> UfScratch {
         UfScratch {
@@ -238,6 +240,7 @@ impl Default for UfScratch {
         }
     }
 }
+// analyzer: end-allow(alloc)
 
 impl UfScratch {
     /// Preallocates every arena for decodes within `cap` and arms the
@@ -351,6 +354,8 @@ pub(crate) struct MatchScratch {
     pub(crate) bound_k: u32,
 }
 
+// analyzer: allow(alloc) -- constructor: empty vecs, no heap touched
+// until `bound()` preallocates the matrices and DP tables.
 impl Default for MatchScratch {
     fn default() -> MatchScratch {
         MatchScratch {
@@ -365,6 +370,7 @@ impl Default for MatchScratch {
         }
     }
 }
+// analyzer: end-allow(alloc)
 
 impl MatchScratch {
     /// Preallocates the `k x k` matrices and `2^k` DP tables for up to

@@ -124,6 +124,11 @@ pub struct StreamingDecoder<D> {
     /// deterministic), shared across shots.
     empty_pred: Option<u32>,
     decodes: u64,
+    /// Debug-asserted detector-index bound from the decoder's declared
+    /// scratch capacity; `u32::MAX` = unbounded. A defect at or above
+    /// this would silently grow `syndrome` past its presized capacity
+    /// and index outside the decoder's arenas.
+    node_bound: u32,
 }
 
 impl<D: Decoder> StreamingDecoder<D> {
@@ -141,11 +146,19 @@ impl<D: Decoder> StreamingDecoder<D> {
     /// Panics if `window` is zero.
     pub fn new(decoder: D, window: u32) -> StreamingDecoder<D> {
         assert!(window > 0, "streaming window must be at least one round");
+        // analyzer: allow(alloc) -- constructor: one-time presizing of
+        // the scratch and syndrome buffer; the push/commit path reuses
+        // them allocation-free.
         let scratch = DecoderScratch::for_decoder(&decoder);
         let mut syndrome = Vec::new();
-        if let Some(cap) = decoder.scratch_capacity() {
-            syndrome.reserve(cap.nodes as usize);
-        }
+        let node_bound = match decoder.scratch_capacity() {
+            Some(cap) => {
+                syndrome.reserve(cap.nodes as usize);
+                cap.nodes
+            }
+            None => u32::MAX,
+        };
+        // analyzer: end-allow(alloc)
         StreamingDecoder {
             decoder,
             window,
@@ -158,6 +171,7 @@ impl<D: Decoder> StreamingDecoder<D> {
             committed: 0,
             empty_pred: None,
             decodes: 0,
+            node_bound,
         }
     }
 
@@ -183,6 +197,14 @@ impl<D: Decoder> StreamingDecoder<D> {
     /// common path.
     pub fn push_round(&mut self, defects: &[u32]) -> Option<RoundCommit> {
         if !defects.is_empty() {
+            debug_assert!(
+                self.node_bound == u32::MAX || *defects.last().unwrap() < self.node_bound,
+                "StreamingDecoder bound overflow: defect {} pushed through a decoder whose \
+                 scratch capacity covers {} detectors (was the stream built for a smaller \
+                 graph?)",
+                defects.last().unwrap(),
+                self.node_bound
+            );
             let in_order = self.syndrome.last().is_none_or(|&last| defects[0] > last);
             self.syndrome.extend_from_slice(defects);
             if !in_order {
@@ -348,7 +370,10 @@ pub fn count_batch_errors_streaming(
             )
         },
         |batch, (stream, rounds, defects)| {
+            // analyzer: allow(alloc) -- one tally vec per batch (not
+            // per shot); batches are hundreds of shots.
             let mut errors = vec![0u64; num_obs];
+            // analyzer: end-allow(alloc)
             rounds.begin_batch(batch);
             for s in 0..batch.shots {
                 rounds.begin_shot(s);

@@ -49,11 +49,14 @@ impl UfDecoder {
     /// how [`MwpmDecoder`](crate::MwpmDecoder) shares one graph with
     /// its union-find fallback.
     pub fn from_shared(graph: Arc<DecodingGraph>) -> UfDecoder {
+        // analyzer: allow(alloc) -- constructor: the quantized edge
+        // capacities are computed once per graph, not per decode.
         let capacity = graph
             .edges()
             .iter()
             .map(|e| ((e.weight * WEIGHT_SCALE).round() as u32).max(1))
             .collect();
+        // analyzer: end-allow(alloc)
         UfDecoder { graph, capacity }
     }
 

@@ -6,6 +6,7 @@
 //!                       [--resume FILE] [--policy SPEC] [--trace FILE]
 //! repro all [--full]
 //! repro --list
+//! repro check [--dem FILE | --distance D [--kind K] | --policy SPEC | --qasm FILE]
 //! ```
 //!
 //! Experiments: fig1c fig1d fig3c fig4a fig4b fig6 fig7 fig10 fig11
@@ -34,6 +35,15 @@
 //! strings
 //! appear in the emitted tables' policy column, so any reported row
 //! can be re-run verbatim.
+//!
+//! `repro check` statically validates reproduction artifacts without
+//! running a single shot, using [`ftqc_analyzer::artifact`]: a `.dem`
+//! file's well-formedness and round structure (`FTQC010`–`FTQC012`),
+//! the decoding graph and scratch capacity built from it (`FTQC013`,
+//! `FTQC014`), a policy spec's parameter domains (`FTQC015`), an
+//! experiment distance (`FTQC016`), or an OpenQASM file (`FTQC017`).
+//! Diagnostics go to stderr and exit 2; clean inputs report `ok` and
+//! exit 0 — the same contract as every other pre-flight flag.
 //!
 //! `--trace FILE` records a cross-layer telemetry trace of the whole
 //! run (sampling, scanning, decoding, streaming commits, runtime
@@ -98,8 +108,153 @@ fn usage_and_exit() -> ! {
          [--trace FILE]"
     );
     eprintln!("       repro --list");
+    eprintln!(
+        "       repro check [--dem FILE | --distance D [--kind K] | --policy SPEC | --qasm FILE]"
+    );
     eprintln!("experiments: {} all", ALL.join(" "));
     eprintln!("aliases: {}", ALIASES.join(" "));
+    std::process::exit(2);
+}
+
+/// `repro check`: static artifact validation via
+/// [`ftqc_analyzer::artifact`]. Runs no shots — parses/builds the
+/// requested artifact, cross-checks its invariants, and exits 0
+/// (clean, one `ok` line per target on stdout) or 2 (diagnostics on
+/// stderr, same as every other pre-flight failure).
+fn check_and_exit(args: &[String]) -> ! {
+    use ftqc_analyzer::artifact;
+    use ftqc_decoder::Decoder as _;
+
+    let mut dem: Option<PathBuf> = None;
+    let mut distance: Option<u64> = None;
+    let mut kind_name: Option<String> = None;
+    let mut policy: Option<String> = None;
+    let mut qasm: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dem" => dem = Some(PathBuf::from(flag_value(args, &mut i, "--dem"))),
+            "--distance" => {
+                distance = Some(parse_or_exit(
+                    flag_value(args, &mut i, "--distance"),
+                    "--distance",
+                ))
+            }
+            "--kind" => kind_name = Some(flag_value(args, &mut i, "--kind").to_string()),
+            "--policy" => policy = Some(flag_value(args, &mut i, "--policy").to_string()),
+            "--qasm" => qasm = Some(PathBuf::from(flag_value(args, &mut i, "--qasm"))),
+            flag => {
+                eprintln!("check: unknown argument `{flag}`");
+                usage_and_exit();
+            }
+        }
+        i += 1;
+    }
+    if dem.is_none() && distance.is_none() && policy.is_none() && qasm.is_none() {
+        eprintln!("check: nothing to check (pass --dem, --distance, --policy or --qasm)");
+        usage_and_exit();
+    }
+    if kind_name.is_some() && distance.is_none() {
+        eprintln!("check: --kind only applies with --distance");
+        usage_and_exit();
+    }
+    let kind = match kind_name.as_deref() {
+        None | Some("union-find") => ftqc_decoder::DecoderKind::UnionFind,
+        Some("mwpm") => ftqc_decoder::DecoderKind::Mwpm,
+        Some("lut") => ftqc_decoder::DecoderKind::lut(),
+        Some("hierarchical") => ftqc_decoder::DecoderKind::hierarchical(),
+        Some(other) => {
+            eprintln!("check: unknown decoder kind `{other}` (union-find mwpm lut hierarchical)");
+            usage_and_exit();
+        }
+    };
+
+    let mut diags = Vec::new();
+    let mut passed: Vec<String> = Vec::new();
+
+    if let Some(path) = &dem {
+        let label = path.display().to_string();
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("check: cannot read {label}: {e}");
+            std::process::exit(2);
+        });
+        match artifact::DemFile::parse(&label, &text) {
+            Err(parse_diags) => diags.extend(parse_diags),
+            Ok(file) => {
+                let semantic = file.validate(&label);
+                if semantic.is_empty() {
+                    // Only a semantically valid DEM can be promoted to a
+                    // model; then cross-check the graph and scratch
+                    // capacity built from it.
+                    let model = file.to_model();
+                    let graph = ftqc_decoder::DecodingGraph::from_dem(&model);
+                    diags.extend(artifact::validate_graph(&label, &graph));
+                    let decoder = ftqc_decoder::UfDecoder::new(graph);
+                    diags.extend(artifact::validate_scratch(
+                        &label,
+                        &model,
+                        decoder.scratch_capacity(),
+                    ));
+                } else {
+                    diags.extend(semantic);
+                }
+            }
+        }
+        if diags.is_empty() {
+            passed.push(format!("dem {label}"));
+        }
+    }
+    if let Some(d) = distance {
+        let domain = artifact::validate_distance(d);
+        if domain.is_empty() {
+            // Build the full circuit -> DEM -> graph -> decoder chain at
+            // this distance and cross-check it, without running shots.
+            let hw = ftqc_noise::HardwareConfig::ibm();
+            let pipeline =
+                exp::EvalPipeline::memory(ftqc_surface::MemoryConfig::new(d as u32, d as u32, &hw))
+                    .decoder(kind)
+                    .build();
+            let label = format!("<distance {d}, {kind}>");
+            diags.extend(artifact::validate_graph(&label, pipeline.graph()));
+            diags.extend(artifact::validate_scratch(
+                &label,
+                pipeline.dem(),
+                pipeline.decoder().scratch_capacity(),
+            ));
+            if diags.is_empty() {
+                passed.push(format!("distance {d} ({kind})"));
+            }
+        } else {
+            diags.extend(domain);
+        }
+    }
+    if let Some(spec) = &policy {
+        let policy_diags = artifact::validate_policy(spec);
+        if policy_diags.is_empty() {
+            passed.push(format!("policy {spec}"));
+        }
+        diags.extend(policy_diags);
+    }
+    if let Some(path) = &qasm {
+        let label = path.display().to_string();
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("check: cannot read {label}: {e}");
+            std::process::exit(2);
+        });
+        let qasm_diags = artifact::validate_qasm(&label, &text);
+        if qasm_diags.is_empty() {
+            passed.push(format!("qasm {label}"));
+        }
+        diags.extend(qasm_diags);
+    }
+
+    if diags.is_empty() {
+        for target in &passed {
+            println!("repro check: ok ({target})");
+        }
+        std::process::exit(0);
+    }
+    eprint!("{}", ftqc_analyzer::render_human(&diags));
     std::process::exit(2);
 }
 
@@ -137,6 +292,9 @@ fn parse_or_exit<T: std::str::FromStr>(value: &str, flag: &str) -> T {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "check") {
+        check_and_exit(&args[1..]);
+    }
     let mut config = Config::quick();
     let mut out_dir = PathBuf::from("results");
     let mut experiments: Vec<String> = Vec::new();

@@ -181,6 +181,11 @@ impl EvalPipelineBuilder {
         let circuit = self.build_circuit();
         let (dem, dem_stats) = DetectorErrorModel::from_circuit(&circuit, self.decompose_dem);
         let graph = std::sync::Arc::new(DecodingGraph::from_dem(&dem));
+        // Debug-build pre-flight: the CSR invariants FTQC013 checks are
+        // assumed without re-validation by every decoder; catch a
+        // malformed graph at construction, not mid-decode.
+        #[cfg(debug_assertions)]
+        ftqc_analyzer::preflight_graph("EvalPipeline::build", &graph);
         EvalPipeline {
             circuit,
             dem,

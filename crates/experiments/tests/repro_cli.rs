@@ -102,3 +102,104 @@ fn traced_runtime_run_covers_all_four_layers() {
     assert!(summary.contains("runtime/execute"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// --- `repro check`: static artifact validation ----------------------
+
+/// Absolute path of a committed `.dem` fixture.
+fn dem_fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn check_valid_dem_exits_0() {
+    let path = dem_fixture("good.dem");
+    let out = repro(&["check", "--dem", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("repro check: ok"), "stdout: {stdout}");
+}
+
+#[test]
+fn check_rejects_each_corrupted_dem_with_its_code() {
+    for (fixture, code) in [
+        ("corrupt_parse.dem", "FTQC010"),
+        ("corrupt_semantic.dem", "FTQC011"),
+        ("corrupt_rounds.dem", "FTQC012"),
+    ] {
+        let path = dem_fixture(fixture);
+        let out = repro(&["check", "--dem", path.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(2), "{fixture}");
+        let err = stderr(&out);
+        assert!(err.contains(code), "{fixture} stderr: {err}");
+    }
+}
+
+#[test]
+fn check_valid_policy_and_distance_exit_0() {
+    let out = repro(&["check", "--policy", "hybrid:eps=400,max=5"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    let out = repro(&["check", "--distance", "3", "--kind", "union-find"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn check_malformed_policy_is_ftqc015() {
+    let out = repro(&["check", "--policy", "hybrid:eps=-4"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("FTQC015"), "stderr: {err}");
+    assert!(err.contains("eps must be positive"), "stderr: {err}");
+}
+
+#[test]
+fn check_out_of_range_distance_is_ftqc016() {
+    for bad in ["300", "4", "1"] {
+        let out = repro(&["check", "--distance", bad]);
+        assert_eq!(out.status.code(), Some(2), "--distance {bad}");
+        let err = stderr(&out);
+        assert!(err.contains("FTQC016"), "--distance {bad} stderr: {err}");
+    }
+}
+
+#[test]
+fn check_qasm_paths() {
+    let dir = scratch("check_qasm");
+    let good = dir.join("good.qasm");
+    std::fs::write(
+        &good,
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0], q[1];\n",
+    )
+    .unwrap();
+    let out = repro(&["check", "--qasm", good.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    let bad = dir.join("bad.qasm");
+    std::fs::write(&bad, "OPENQASM 2.0;\nqreg q[2;\n").unwrap();
+    let out = repro(&["check", "--qasm", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("FTQC017"), "stderr: {}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_with_no_target_exits_2_with_usage() {
+    let out = repro(&["check"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("nothing to check"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn check_missing_dem_file_exits_2() {
+    let out = repro(&["check", "--dem", "/nonexistent-repro-check/x.dem"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("cannot read"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}

@@ -72,6 +72,11 @@ impl ProgramSchedule {
     ) -> ProgramSchedule {
         assert!(estimate.factories > 0, "schedule needs a factory");
         assert!(estimate.magic_states > 0, "schedule needs magic states");
+        // Debug-build pre-flight: FTQC016 domain checks over the whole
+        // estimate, subsuming the two asserts above with full
+        // diagnostics when any field is out of domain.
+        #[cfg(debug_assertions)]
+        ftqc_analyzer::preflight_estimate(&workload.name, estimate);
         let target = estimate.magic_states.min(max_merges);
         // Derive the stream from the workload name so two workloads
         // with the same seed still exercise different patch sequences.

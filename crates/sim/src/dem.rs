@@ -76,6 +76,22 @@ impl DetectorErrorModel {
         Extractor::new(circuit).extract(decompose)
     }
 
+    /// Assembles a model directly from its parts — the seam
+    /// `ftqc-analyzer` uses to reconstruct a model from a `.dem` text
+    /// file. No validation happens here; run the analyzer's artifact
+    /// checks over the result before decoding through it.
+    pub fn from_parts(
+        num_detectors: usize,
+        num_observables: usize,
+        mechanisms: Vec<Mechanism>,
+    ) -> DetectorErrorModel {
+        DetectorErrorModel {
+            num_detectors,
+            num_observables,
+            mechanisms,
+        }
+    }
+
     /// Number of detectors in the underlying circuit.
     pub fn num_detectors(&self) -> usize {
         self.num_detectors

@@ -48,6 +48,8 @@ impl FrameSimulator {
     /// for callers that keep one simulator per worker thread and reuse
     /// its buffers across batches.
     pub fn empty() -> FrameSimulator {
+        // analyzer: allow(alloc) -- constructor: empty vecs, grown once
+        // by `reset` and reused across batches.
         FrameSimulator {
             shots: 0,
             words: 0,
@@ -57,6 +59,7 @@ impl FrameSimulator {
             num_records: 0,
             rng: SmallRng::seed_from_u64(0),
         }
+        // analyzer: end-allow(alloc)
     }
 
     /// Re-arms the simulator for a fresh batch, reusing the frame and
@@ -332,6 +335,8 @@ impl SampleBatch {
     /// point for callers that keep one batch per worker thread and
     /// reuse its rows across samples.
     pub fn empty() -> SampleBatch {
+        // analyzer: allow(alloc) -- constructor: empty rows, grown once
+        // by `sample_batch_with` and reused across batches.
         SampleBatch {
             shots: 0,
             words: 0,
@@ -340,6 +345,7 @@ impl SampleBatch {
             num_detectors: 0,
             num_observables: 0,
         }
+        // analyzer: end-allow(alloc)
     }
 
     /// Detector `d`'s value in shot `s`.
@@ -356,7 +362,10 @@ impl SampleBatch {
 
     /// The flagged (fired) detector indices of shot `s`, ascending.
     pub fn flagged_detectors(&self, s: usize) -> Vec<u32> {
+        // analyzer: allow(alloc) -- convenience wrapper; the hot loop
+        // uses `flagged_detectors_into` with a reused buffer.
         let mut out = Vec::new();
+        // analyzer: end-allow(alloc)
         self.flagged_detectors_into(s, &mut out);
         out
     }
@@ -438,12 +447,15 @@ impl SyndromeScanner {
     /// An empty scanner; sized by the first
     /// [`begin_batch`](SyndromeScanner::begin_batch).
     pub fn new() -> SyndromeScanner {
+        // analyzer: allow(alloc) -- constructor: the transpose buffer
+        // is empty until `begin_batch` sizes it.
         SyndromeScanner {
             t: Vec::new(),
             det_words: 0,
             num_detectors: 0,
             loaded: usize::MAX,
         }
+        // analyzer: end-allow(alloc)
     }
 
     /// Re-arms the scanner for `batch`, invalidating any cached block
@@ -507,7 +519,9 @@ impl SyndromeScanner {
                 bits &= bits - 1;
             }
         }
-        ftqc_telemetry::counter("sim/defects", out.len() as u64);
+        if ftqc_telemetry::enabled() {
+            ftqc_telemetry::counter("sim/defects", out.len() as u64);
+        }
     }
 
     /// The flagged detector indices of shot `s` in `lo..hi`, ascending,
@@ -655,7 +669,9 @@ pub fn sample_batch_with(
             _ => {}
         }
     }
-    ftqc_telemetry::counter("sim/shots", shots as u64);
+    if ftqc_telemetry::enabled() {
+        ftqc_telemetry::counter("sim/shots", shots as u64);
+    }
     span.end_with(&[
         ftqc_telemetry::Arg::new("shots", shots as f64),
         ftqc_telemetry::Arg::new("detectors", num_detectors as f64),

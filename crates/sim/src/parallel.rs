@@ -193,6 +193,9 @@ impl<R> SlotWriter<R> {
     ///
     /// `index` must be in bounds and not concurrently accessed.
     unsafe fn write(&self, index: usize, value: R) {
+        // SAFETY: the caller guarantees `index` is in bounds of the
+        // allocation behind `self.0` and that no other thread touches
+        // that slot while this write runs.
         unsafe { *self.0.add(index) = Some(value) };
     }
 }
@@ -201,6 +204,8 @@ impl<R> SlotWriter<R> {
 // writes performed through it is guaranteed by the batch-index claim
 // protocol above.
 unsafe impl<R: Send> Send for SlotWriter<R> {}
+// SAFETY: same argument as Send — shared references expose only
+// `write`, whose caller contract rules out overlapping slot access.
 unsafe impl<R: Send> Sync for SlotWriter<R> {}
 
 #[cfg(test)]

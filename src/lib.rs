@@ -24,6 +24,7 @@
 //! | [`runtime`] | `ftqc-runtime` | **whole-program discrete-event runtime** |
 //! | [`experiments`] | `ftqc-experiments` | per-figure reproduction |
 //! | [`telemetry`] | `ftqc-telemetry` | zero-overhead tracing, counters, trace export |
+//! | [`analyzer`] | `ftqc-analyzer` | invariant lints, artifact static validation |
 //!
 //! # Quickstart
 //!
@@ -131,6 +132,7 @@
 //! not. `cargo run --release --example traced_runtime` walks through a
 //! traced policy sweep end to end.
 
+pub use ftqc_analyzer as analyzer;
 pub use ftqc_circuit as circuit;
 pub use ftqc_decoder as decoder;
 pub use ftqc_estimator as estimator;
