@@ -456,17 +456,14 @@ pub fn validate_graph(label: &str, graph: &DecodingGraph) -> Vec<Diagnostic> {
 /// [`ScratchCapacity`] against the capacity re-derived independently
 /// from the DEM (`nodes` = detector count, `edges` = distinct
 /// graphlike `(endpoints, observables)` mechanism classes — the same
-/// merge rule `DecodingGraph::from_dem` applies). `None` (a decoder
-/// with no preallocated arenas) passes vacuously.
+/// merge rule `DecodingGraph::from_dem` applies). Table decoders
+/// report `edges: 0`, which the DEM cross-check cannot derive, so
+/// callers validate graph-holding decoders here.
 pub fn validate_scratch(
     label: &str,
     dem: &DetectorErrorModel,
-    capacity: Option<ScratchCapacity>,
+    cap: ScratchCapacity,
 ) -> Vec<Diagnostic> {
-    let cap = match capacity {
-        Some(cap) => cap,
-        None => return Vec::new(),
-    };
     let nodes = dem.num_detectors() as u32;
     let mut classes: HashSet<(u32, u32, u32)> = HashSet::new();
     for m in dem.mechanisms() {
@@ -491,6 +488,43 @@ pub fn validate_scratch(
         ));
     }
     diags
+}
+
+/// `FTQC018`: fused-streaming window domain check. A fused window of
+/// `W` rounds keeps `W` rounds of detectors in the active view, so an
+/// edge whose endpoints are `k` rounds apart needs `W >= k + 1` to
+/// ever hold both endpoints simultaneously — a shorter window expels
+/// one endpoint before the other can arrive, and the fusion boundary
+/// cuts that edge on *every* slide rather than transiently.
+/// `round_of` maps a global detector id to its round (e.g.
+/// `RoundSchedule::round_of`, or the `.dem` file's round tags).
+pub fn validate_window(
+    label: &str,
+    graph: &DecodingGraph,
+    round_of: impl Fn(u32) -> u32,
+    window: u32,
+) -> Vec<Diagnostic> {
+    let mut reach = 0u32;
+    for e in graph.edges() {
+        if let Some(v) = e.v {
+            reach = reach.max(round_of(e.u).abs_diff(round_of(v)));
+        }
+    }
+    let min_window = reach + 1;
+    if window >= min_window {
+        return Vec::new();
+    }
+    vec![Diagnostic::new(
+        Code::WindowDomain,
+        label,
+        0,
+        format!(
+            "fused streaming window of {window} rounds cannot cover the graph's \
+             longest round-spanning edge ({reach} rounds apart): use a window of \
+             at least {min_window} rounds or the window boundary will cut that \
+             edge on every slide"
+        ),
+    )]
 }
 
 /// `FTQC015`: policy-spec domain validation — the spec must parse
@@ -709,16 +743,36 @@ error 0.1 D0 D1
         let dem = DemFile::parse("good.dem", GOOD).unwrap().to_model();
         let graph = DecodingGraph::from_dem(&dem);
         let good = ScratchCapacity::for_graph(&graph, 0);
-        assert!(validate_scratch("good.dem", &dem, Some(good)).is_empty());
-        assert!(validate_scratch("good.dem", &dem, None).is_empty());
+        assert!(validate_scratch("good.dem", &dem, good).is_empty());
         let wrong = ScratchCapacity {
             nodes: good.nodes,
             edges: good.edges + 1,
             exact_limit: 0,
         };
-        let diags = validate_scratch("good.dem", &dem, Some(wrong));
+        let diags = validate_scratch("good.dem", &dem, wrong);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, Code::ScratchCapacity);
+    }
+
+    #[test]
+    fn window_domain_check() {
+        // GOOD has a round-spanning edge (D1 round 0 — D2 round 1), so
+        // the maximum reach is 1 and the minimum usable fused window
+        // is 2 rounds.
+        let file = DemFile::parse("good.dem", GOOD).unwrap();
+        let rounds: Vec<u32> = {
+            let mut by_id = file.detectors.clone();
+            by_id.sort_by_key(|&(_, id, _)| id);
+            by_id.iter().map(|&(_, _, r)| r as u32).collect()
+        };
+        let graph = DecodingGraph::from_dem(&file.to_model());
+        let round_of = |d: u32| rounds[d as usize];
+        assert!(validate_window("good.dem", &graph, round_of, 2).is_empty());
+        assert!(validate_window("good.dem", &graph, round_of, 7).is_empty());
+        let diags = validate_window("good.dem", &graph, round_of, 1);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::WindowDomain);
+        assert!(diags[0].message.contains("at least 2 rounds"));
     }
 
     #[test]

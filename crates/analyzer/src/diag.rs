@@ -37,6 +37,10 @@ pub enum Code {
     WorkloadDomain,
     /// QASM program failed to parse.
     QasmParse,
+    /// Fused streaming window too short for the decoding graph: the
+    /// window must cover the longest round-spanning edge, or defects
+    /// it connects can be expelled before their partner arrives.
+    WindowDomain,
 }
 
 impl Code {
@@ -54,6 +58,7 @@ impl Code {
             Code::PolicyDomain => "FTQC015",
             Code::WorkloadDomain => "FTQC016",
             Code::QasmParse => "FTQC017",
+            Code::WindowDomain => "FTQC018",
         }
     }
 
@@ -71,6 +76,7 @@ impl Code {
             Code::PolicyDomain,
             Code::WorkloadDomain,
             Code::QasmParse,
+            Code::WindowDomain,
         ]
     }
 

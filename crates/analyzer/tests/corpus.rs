@@ -109,9 +109,28 @@ fn wrong_scratch_capacity_is_ftqc014() {
         edges: 1,
         exact_limit: 0,
     };
-    let diags = artifact::validate_scratch("good.dem", &model, Some(wrong));
+    let diags = artifact::validate_scratch("good.dem", &model, wrong);
     assert_eq!(diags.len(), 1, "{diags:?}");
     assert_eq!(diags[0].code, Code::ScratchCapacity);
+}
+
+#[test]
+fn short_fused_window_is_ftqc018() {
+    let file = DemFile::parse("good.dem", &fixture("good.dem")).unwrap();
+    let mut rounds: Vec<(u32, u32)> = file
+        .detectors
+        .iter()
+        .map(|&(_, id, r)| (id, r as u32))
+        .collect();
+    rounds.sort_unstable();
+    let round_of = |d: u32| rounds[d as usize].1;
+    let graph = ftqc_decoder::DecodingGraph::from_dem(&file.to_model());
+    // good.dem spans two rounds with a cross-round edge: window 2 is
+    // the minimum usable fused window, window 1 fires FTQC018 once.
+    assert!(artifact::validate_window("good.dem", &graph, round_of, 2).is_empty());
+    let diags = artifact::validate_window("good.dem", &graph, round_of, 1);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::WindowDomain);
 }
 
 /// The self-check the CI `analyzer` job enforces: both passes over the

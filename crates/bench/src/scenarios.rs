@@ -20,9 +20,19 @@
 //!   for the noise-sensitive max — so tail latency rides the
 //!   existing compare gate with no schema change; the committed
 //!   baseline carries only the statistically stable p50/p99 rows,
-//!   leaving max reported-but-ungated). This mirrors
+//!   leaving max reported-but-ungated). Each decoder × distance is
+//!   measured in both streaming modes: exact (full-prefix re-decode;
+//!   the historical row names) and fused (`<kind>/d<d>/fused/<stat>`
+//!   rows; O(window) windowed-fusion decode with one round of
+//!   overlap), so the fused mode's flat-in-stream-length latency
+//!   claim is gated alongside the exact baseline. This mirrors
 //!   micro-blossom's `decoding_speed/distribution` harness and is the
 //!   number a real-time claim rests on.
+//! * `fusion-accuracy` — the accuracy side of the same trade: the
+//!   fused-vs-batch logical-error delta per decoder family × distance
+//!   over a seeded shot plan, reported in errors per million shots
+//!   (`<kind>/d<d>/{batch,fused,delta}-epm` rows; deterministic, so
+//!   exactly reproducible).
 //! * `adaptive-pipeline` — end-to-end shots/sec of the
 //!   run-until-confident evaluation engine (sampling + decoding +
 //!   stopping), the loop behind every LER figure.
@@ -92,6 +102,7 @@ pub fn scenario_names() -> &'static [&'static str] {
         "decode-throughput",
         "decode-throughput-alloc",
         "decode-latency",
+        "fusion-accuracy",
         "adaptive-pipeline",
         "runtime-sweep",
         "telemetry-overhead",
@@ -108,6 +119,7 @@ pub fn run_scenario(name: &str, preset: Preset) -> Result<BenchReport, String> {
         "decode-throughput" => decode_throughput(preset, DecodePath::Scratch),
         "decode-throughput-alloc" => decode_throughput(preset, DecodePath::Allocating),
         "decode-latency" => decode_latency(preset),
+        "fusion-accuracy" => fusion_accuracy(preset),
         "adaptive-pipeline" => adaptive_pipeline(preset),
         "runtime-sweep" => runtime_sweep(preset),
         "telemetry-overhead" => telemetry_overhead(preset),
@@ -290,7 +302,7 @@ fn latency_matrix(preset: Preset) -> Vec<(&'static str, DecoderKind, Vec<u32>)> 
 }
 
 fn decode_latency(preset: Preset) -> Vec<BenchResult> {
-    use ftqc_decoder::StreamingDecoder;
+    use ftqc_decoder::StreamingConfig;
     use ftqc_sim::{RoundSchedule, RoundStream};
 
     let hw = HardwareConfig::ibm();
@@ -309,72 +321,161 @@ fn decode_latency(preset: Preset) -> Vec<BenchResult> {
             let schedule = RoundSchedule::from_circuit(pipeline.circuit());
             let batch = sample_batch(pipeline.circuit(), decode_shots(d), 2025);
             let mut rounds = RoundStream::new(&schedule);
-            let mut stream = StreamingDecoder::new(decoder, LATENCY_WINDOW);
             let mut defects = Vec::with_capacity(schedule.max_round_len());
-            // One pass streams every shot, timing each round event
-            // (arrival push or tail flush) individually into `lat`.
-            let mut lat: Vec<u64> = Vec::new();
-            let mut pass = |lat: &mut Vec<u64>| {
-                lat.clear();
-                rounds.begin_batch(&batch);
-                for s in 0..batch.shots {
-                    rounds.begin_shot(s);
-                    stream.begin_shot();
-                    while rounds.next_round_into(&batch, &mut defects).is_some() {
-                        let t0 = Instant::now();
-                        std::hint::black_box(stream.push_round(&defects));
-                        lat.push(t0.elapsed().as_nanos() as u64);
-                    }
-                    loop {
-                        let t0 = Instant::now();
-                        let commit = stream.flush_round();
-                        let ns = t0.elapsed().as_nanos() as u64;
-                        if commit.is_none() {
-                            break;
+            // Both streaming modes ride the same pre-sampled stream:
+            // exact (full-prefix re-decode, the bit-identity baseline)
+            // and fused (O(window) per round through the round-sliced
+            // view, one round of overlap). Exact rows keep their
+            // historical names; fused rows insert a `fused/` segment.
+            for (tag, config) in [
+                ("", StreamingConfig::exact(LATENCY_WINDOW)),
+                ("fused/", StreamingConfig::fused(LATENCY_WINDOW, 1)),
+            ] {
+                let mut stream = config.build(decoder, &schedule);
+                // One pass streams every shot, timing each round event
+                // (arrival push or tail flush) individually into `lat`.
+                let mut lat: Vec<u64> = Vec::new();
+                let mut pass = |lat: &mut Vec<u64>| {
+                    lat.clear();
+                    rounds.begin_batch(&batch);
+                    for s in 0..batch.shots {
+                        rounds.begin_shot(s);
+                        stream.begin_shot();
+                        while rounds.next_round_into(&batch, &mut defects).is_some() {
+                            let t0 = Instant::now();
+                            std::hint::black_box(stream.push_round(&defects));
+                            lat.push(t0.elapsed().as_nanos() as u64);
                         }
-                        lat.push(ns);
+                        loop {
+                            let t0 = Instant::now();
+                            let commit = stream.flush_round();
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            if commit.is_none() {
+                                break;
+                            }
+                            lat.push(ns);
+                        }
                     }
-                }
-            };
-            pass(&mut lat); // warm-up: grow scanner/scratch buffers
-            let (mut p50, mut p99, mut max) = (
-                Vec::with_capacity(SAMPLES),
-                Vec::with_capacity(SAMPLES),
-                Vec::with_capacity(SAMPLES),
-            );
-            let mut allocs = 0u64;
-            let mut events = 0usize;
-            for _ in 0..SAMPLES {
-                let a0 = allocation_count();
-                pass(&mut lat);
-                allocs += allocation_count() - a0;
-                events += lat.len();
-                lat.sort_unstable();
-                p50.push(lat[lat.len() / 2] as f64);
-                p99.push(lat[lat.len() * 99 / 100] as f64);
-                max.push(lat[lat.len() - 1] as f64);
-            }
-            let allocs_per_event = allocs as f64 / events.max(1) as f64;
-            // p50/p99 gate on the median across passes — stable order
-            // statistics. The max is one event per pass, and scheduler
-            // noise only ever *adds* time, so the min across passes is
-            // the robust estimate of the worst round's true cost (the
-            // deterministic stream makes it the same logical round
-            // each pass); a median-of-maxes flaps 10x under load.
-            for (stat, mut samples) in [("p50", p50), ("p99", p99), ("max", max)] {
-                samples.sort_by(|a, b| a.total_cmp(b));
-                let ns = if stat == "max" {
-                    samples[0]
-                } else {
-                    samples[samples.len() / 2]
                 };
-                results.push(BenchResult::new(
-                    format!("{label}/d{d}/{stat}"),
-                    ns,
-                    allocs_per_event,
-                    SAMPLES,
-                ));
+                pass(&mut lat); // warm-up: grow scanner/scratch/view buffers
+                let (mut p50, mut p99, mut max) = (
+                    Vec::with_capacity(SAMPLES),
+                    Vec::with_capacity(SAMPLES),
+                    Vec::with_capacity(SAMPLES),
+                );
+                let mut allocs = 0u64;
+                let mut events = 0usize;
+                for _ in 0..SAMPLES {
+                    let a0 = allocation_count();
+                    pass(&mut lat);
+                    allocs += allocation_count() - a0;
+                    events += lat.len();
+                    lat.sort_unstable();
+                    p50.push(lat[lat.len() / 2] as f64);
+                    p99.push(lat[lat.len() * 99 / 100] as f64);
+                    max.push(lat[lat.len() - 1] as f64);
+                }
+                let allocs_per_event = allocs as f64 / events.max(1) as f64;
+                // p50/p99 gate on the median across passes — stable order
+                // statistics. The max is one event per pass, and scheduler
+                // noise only ever *adds* time, so the min across passes is
+                // the robust estimate of the worst round's true cost (the
+                // deterministic stream makes it the same logical round
+                // each pass); a median-of-maxes flaps 10x under load.
+                for (stat, mut samples) in [("p50", p50), ("p99", p99), ("max", max)] {
+                    samples.sort_by(|a, b| a.total_cmp(b));
+                    let ns = if stat == "max" {
+                        samples[0]
+                    } else {
+                        samples[samples.len() / 2]
+                    };
+                    results.push(BenchResult::new(
+                        format!("{label}/d{d}/{tag}{stat}"),
+                        ns,
+                        allocs_per_event,
+                        SAMPLES,
+                    ));
+                }
             }
+        }
+    }
+    results
+}
+
+/// `fusion-accuracy` — the *accuracy* side of the windowed-fusion
+/// trade: the same pre-planned shot set decoded batch-wise and through
+/// the fused streaming path (window = [`LATENCY_WINDOW`], overlap 1),
+/// per decoder family × distance. Rows carry logical-error counts
+/// scaled to **errors per million shots** in `median_ns_per_op` (this
+/// scenario measures accuracy, not time — the field is just the row's
+/// value carrier): `<kind>/d<d>/batch-epm`, `/fused-epm`, and
+/// `/delta-epm` (fused − batch, the signed fusion accuracy delta the
+/// EXPERIMENTS.md table reports). Counts are seeded and deterministic,
+/// so `samples` is 1 and the rows are exactly reproducible.
+fn fusion_accuracy(preset: Preset) -> Vec<BenchResult> {
+    use ftqc_decoder::{count_batch_errors, count_batch_errors_streaming, StreamingConfig};
+    use ftqc_sim::batch_plan;
+
+    let hw = HardwareConfig::ibm();
+    let (shots, matrix): (u64, Vec<(&str, DecoderKind, Vec<u32>)>) = match preset {
+        Preset::Quick => (
+            20_000,
+            vec![
+                ("uf", DecoderKind::UnionFind, vec![3]),
+                ("mwpm", DecoderKind::Mwpm, vec![3]),
+            ],
+        ),
+        Preset::Full => (
+            100_000,
+            vec![
+                ("uf", DecoderKind::UnionFind, vec![3, 5]),
+                ("lut", DecoderKind::lut(), vec![3]),
+                ("mwpm", DecoderKind::Mwpm, vec![3]),
+                ("hierarchical", DecoderKind::hierarchical(), vec![3]),
+            ],
+        ),
+    };
+    let mut results = Vec::new();
+    for (label, kind, distances) in matrix {
+        for d in distances {
+            let pipeline = EvalPipeline::memory(MemoryConfig::new(d, d + 1, &hw))
+                .physical_error(3e-3)
+                .decoder(kind)
+                .seed(2025)
+                .build();
+            let decoder = pipeline.decoder();
+            let plan = batch_plan(shots, 512);
+            let total = |counts: Vec<Vec<u64>>| -> u64 {
+                counts.iter().map(|batch| batch.iter().sum::<u64>()).sum()
+            };
+            let batch = total(count_batch_errors(pipeline.circuit(), decoder, &plan, 7, 2));
+            let fused = total(count_batch_errors_streaming(
+                pipeline.circuit(),
+                decoder,
+                StreamingConfig::fused(LATENCY_WINDOW, 1),
+                &plan,
+                7,
+                2,
+            ));
+            let epm = |errors: u64| errors as f64 * 1e6 / shots as f64;
+            results.push(BenchResult::new(
+                format!("{label}/d{d}/batch-epm"),
+                epm(batch),
+                0.0,
+                1,
+            ));
+            results.push(BenchResult::new(
+                format!("{label}/d{d}/fused-epm"),
+                epm(fused),
+                0.0,
+                1,
+            ));
+            results.push(BenchResult::new(
+                format!("{label}/d{d}/delta-epm"),
+                epm(fused) - epm(batch),
+                0.0,
+                1,
+            ));
         }
     }
     results
@@ -445,7 +546,7 @@ fn runtime_sweep(preset: Preset) -> Vec<BenchResult> {
 /// Measures the cost of the telemetry layer itself, in both states.
 ///
 /// The `disabled/*` rows are the load-bearing ones: they bound what the
-/// spans inside `decode_into`, `commit_next`, the scanner and the
+/// spans inside `decode_into`, the streaming commit, the scanner and the
 /// runtime cost every *untraced* run — a regression here means
 /// instrumentation leaked real work onto the disabled path. The
 /// `enabled/*` rows price actual recording into a presized ring

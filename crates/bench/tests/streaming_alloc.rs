@@ -6,7 +6,7 @@
 //! presized from `ScratchCapacity`).
 
 use ftqc_bench::alloc::{allocation_count, CountingAlloc};
-use ftqc_decoder::{DecoderKind, DecodingGraph, StreamingDecoder};
+use ftqc_decoder::{DecoderKind, DecodingGraph, StreamingConfig};
 use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
 use ftqc_sim::{sample_batch, DetectorErrorModel, RoundSchedule, RoundStream};
 use ftqc_surface::MemoryConfig;
@@ -25,10 +25,12 @@ fn counter_guard() -> std::sync::MutexGuard<'static, ()> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Streams every shot of a pre-sampled batch through window `window`
-/// `passes` times and returns the allocations of the steady-state
-/// passes (one warm-up pass grows scanner/scratch/round buffers).
-fn steady_state_stream_allocs(kind: DecoderKind, window: u32, passes: usize) -> u64 {
+/// Streams every shot of a pre-sampled batch through `config` `passes`
+/// times and returns the allocations of the steady-state passes (one
+/// warm-up pass grows scanner/scratch/round buffers — for fused
+/// configs that includes the one-time window-view arenas, presized to
+/// the source graph on first materialization).
+fn steady_state_stream_allocs(kind: DecoderKind, config: StreamingConfig, passes: usize) -> u64 {
     let hw = HardwareConfig::ibm();
     let circuit =
         CircuitNoiseModel::standard(3e-3, &hw).apply(&MemoryConfig::new(3, 4, &hw).build());
@@ -37,7 +39,7 @@ fn steady_state_stream_allocs(kind: DecoderKind, window: u32, passes: usize) -> 
     let schedule = RoundSchedule::from_circuit(&circuit);
     let batch = sample_batch(&circuit, 512, 7);
     let mut rounds = RoundStream::new(&schedule);
-    let mut stream = StreamingDecoder::new(&decoder, window);
+    let mut stream = config.build(&decoder, &schedule);
     let mut defects = Vec::with_capacity(schedule.max_round_len());
     let mut run = |count: bool| -> u64 {
         let before = allocation_count();
@@ -67,7 +69,7 @@ fn steady_state_stream_allocs(kind: DecoderKind, window: u32, passes: usize) -> 
 #[test]
 fn streaming_uf_rounds_are_allocation_free_at_steady_state() {
     let _guard = counter_guard();
-    let allocs = steady_state_stream_allocs(DecoderKind::UnionFind, 2, 3);
+    let allocs = steady_state_stream_allocs(DecoderKind::UnionFind, StreamingConfig::exact(2), 3);
     assert_eq!(
         allocs, 0,
         "streamed 512 shots x3 through UF with {allocs} allocations; \
@@ -78,14 +80,14 @@ fn streaming_uf_rounds_are_allocation_free_at_steady_state() {
 #[test]
 fn streaming_mwpm_rounds_are_allocation_free_at_steady_state() {
     let _guard = counter_guard();
-    let allocs = steady_state_stream_allocs(DecoderKind::Mwpm, 2, 3);
+    let allocs = steady_state_stream_allocs(DecoderKind::Mwpm, StreamingConfig::exact(2), 3);
     assert_eq!(allocs, 0, "MWPM streaming must not touch the heap");
 }
 
 #[test]
 fn streaming_lut_rounds_are_allocation_free_at_steady_state() {
     let _guard = counter_guard();
-    let allocs = steady_state_stream_allocs(DecoderKind::lut(), 3, 3);
+    let allocs = steady_state_stream_allocs(DecoderKind::lut(), StreamingConfig::exact(3), 3);
     assert_eq!(allocs, 0, "LUT streaming must not touch the heap");
 }
 
@@ -94,6 +96,24 @@ fn immediate_commit_window_is_also_allocation_free() {
     let _guard = counter_guard();
     // W = 1 commits on every push — the worst case for commit-path
     // allocations (one prefix decode per dirty round).
-    let allocs = steady_state_stream_allocs(DecoderKind::UnionFind, 1, 3);
+    let allocs = steady_state_stream_allocs(DecoderKind::UnionFind, StreamingConfig::exact(1), 3);
     assert_eq!(allocs, 0, "W=1 streaming must not touch the heap");
+}
+
+#[test]
+fn fused_mode_is_allocation_free_at_steady_state() {
+    let _guard = counter_guard();
+    // The fused commit path rebuilds the window view in place every
+    // slide: after the warm-up pass materializes the view's arenas
+    // once (presized to the source graph), re-slicing, remapping and
+    // windowed decoding must never touch the heap.
+    for (kind, label) in [
+        (DecoderKind::UnionFind, "UF"),
+        (DecoderKind::Mwpm, "MWPM"),
+        (DecoderKind::lut(), "LUT"),
+        (DecoderKind::hierarchical(), "hierarchical"),
+    ] {
+        let allocs = steady_state_stream_allocs(kind, StreamingConfig::fused(2, 1), 3);
+        assert_eq!(allocs, 0, "fused {label} streaming must not touch the heap");
+    }
 }

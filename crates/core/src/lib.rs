@@ -29,8 +29,6 @@
 //! * [`CultivationModel`] / [`qldpc_slack`] — the desynchronization
 //!   case studies of Section 3.4 (magic-state cultivation and qLDPC
 //!   memories).
-//! * [`SyncPolicy`] / [`plan_sync`] — the legacy closed-enum API, kept
-//!   as a thin deprecated shim over the strategies.
 //!
 //! # Example
 //!
@@ -71,9 +69,7 @@ pub use engine::{
     Controller, ControllerSyncReport, PatchId, PatchStatus, SyncEngine, SyncRequestOutcome,
 };
 pub use error::SyncError;
-#[allow(deprecated)]
-pub use policy::plan_sync;
-pub use policy::{SyncPlan, SyncPolicy};
+pub use policy::SyncPlan;
 pub use solver::{solve_extra_rounds, solve_hybrid, HybridSolution};
 pub use strategy::{
     strategies, PolicyParseError, PolicySpec, SyncStrategy, DEFAULT_DYNAMIC_FLOOR_NS,

@@ -1,76 +1,12 @@
-//! Synchronization plans (paper Section 4) and the legacy closed-enum
-//! planning entry point.
+//! Synchronization plans (paper Section 4).
 //!
 //! The planning logic itself lives in [`crate::strategies`] behind the
 //! open [`SyncStrategy`](crate::SyncStrategy) trait; this module keeps
-//! the [`SyncPlan`] output type, the legacy [`SyncPolicy`] enum and the
-//! deprecated [`plan_sync`] shim for code written against the closed
-//! API.
+//! the [`SyncPlan`] output type every strategy produces, plus the
+//! behavior-pinning tests for the per-policy plan shapes (paper
+//! Sections 4.1–4.2, Table 2).
 
-use crate::context::SyncContext;
 use crate::strategy::PolicySpec;
-use crate::SyncError;
-use std::fmt;
-
-/// The original closed policy enum, superseded by [`PolicySpec`].
-///
-/// Kept as a convenience value type for code written against the
-/// pre-strategy API: it converts losslessly into a [`PolicySpec`]
-/// (`PolicySpec::from(policy)`), which is what every planning entry
-/// point now consumes. New policies (e.g. `dynamic-hybrid`) are *not*
-/// representable here — this enum will not grow.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum SyncPolicy {
-    /// The baseline: the leading patch idles for the entire slack
-    /// immediately before the Lattice Surgery operation.
-    Passive,
-    /// The slack is split into equal fragments inserted before each of
-    /// the pre-merge syndrome-generation rounds, slowing the leading
-    /// patch gradually (paper Section 4.1.2).
-    Active,
-    /// The slack is distributed *within* the final round, between its
-    /// gate layers — synchronizes in one round but also decoheres the
-    /// measure qubits mid-extraction (paper Section 4.1.3).
-    ActiveIntra,
-    /// The leading patch runs extra rounds per Eq. (1); requires
-    /// `T_P != T_P'` (paper Section 4.1.4).
-    ExtraRounds,
-    /// Extra rounds per Eq. (2) until the residual slack drops below
-    /// `epsilon_ns`, with the residual distributed Active-style (paper
-    /// Section 4.2).
-    Hybrid {
-        /// Maximum tolerated residual idle (the paper uses 400 ns for
-        /// superconducting evaluations).
-        epsilon_ns: f64,
-        /// Upper bound on extra rounds searched by Eq. (2) (the paper
-        /// uses 5 for superconducting systems and larger bounds for the
-        /// neutral-atom study of Table 5).
-        max_extra_rounds: u32,
-    },
-}
-
-impl SyncPolicy {
-    /// A Hybrid policy with the paper's superconducting defaults:
-    /// tolerance `epsilon_ns` and at most 5 extra rounds.
-    pub fn hybrid(epsilon_ns: f64) -> SyncPolicy {
-        SyncPolicy::Hybrid {
-            epsilon_ns,
-            max_extra_rounds: 5,
-        }
-    }
-}
-
-impl fmt::Display for SyncPolicy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SyncPolicy::Passive => write!(f, "Passive"),
-            SyncPolicy::Active => write!(f, "Active"),
-            SyncPolicy::ActiveIntra => write!(f, "Active-intra"),
-            SyncPolicy::ExtraRounds => write!(f, "Extra Rounds"),
-            SyncPolicy::Hybrid { epsilon_ns, .. } => write!(f, "Hybrid(eps={epsilon_ns}ns)"),
-        }
-    }
-}
 
 /// A concrete synchronization plan for the *leading* patch.
 ///
@@ -117,55 +53,26 @@ impl SyncPlan {
     }
 }
 
-/// Plans how the leading patch (cycle time `t_p_ns`, ahead by `tau_ns`)
-/// synchronizes with the lagging patch (cycle time `t_p_prime_ns`)
-/// before a Lattice Surgery operation, given `rounds` pre-merge
-/// syndrome rounds to work with (normally `d + 1`).
-///
-/// Deprecated shim over the open strategy API: equivalent to
-/// `PolicySpec::from(policy).plan(&SyncContext::new(tau_ns, t_p_ns,
-/// t_p_prime_ns, rounds)?)`. Prefer building a [`SyncContext`] and
-/// calling [`PolicySpec::plan`] (or any custom
-/// [`SyncStrategy`](crate::SyncStrategy)) directly.
-///
-/// # Errors
-///
-/// Propagates solver errors for [`SyncPolicy::ExtraRounds`] and
-/// [`SyncPolicy::Hybrid`]; rejects invalid parameters.
-///
-/// # Example
-///
-/// ```
-/// use ftqc_sync::{PolicySpec, SyncContext};
-///
-/// let ctx = SyncContext::new(1000.0, 1900.0, 1900.0, 8).unwrap();
-/// let plan = PolicySpec::Active.plan(&ctx).unwrap();
-/// assert_eq!(plan.pre_round_idle_ns.len(), 8);
-/// assert!((plan.pre_round_idle_ns[0] - 125.0).abs() < 1e-9);
-/// assert_eq!(plan.final_idle_ns, 0.0);
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use PolicySpec::plan with a SyncContext (open SyncStrategy API)"
-)]
-pub fn plan_sync(
-    policy: SyncPolicy,
-    tau_ns: f64,
-    t_p_ns: f64,
-    t_p_prime_ns: f64,
-    rounds: u32,
-) -> Result<SyncPlan, SyncError> {
-    PolicySpec::from(policy).plan(&SyncContext::new(tau_ns, t_p_ns, t_p_prime_ns, rounds)?)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // pins the shim's behavior against the old API
 mod tests {
     use super::*;
+    use crate::context::SyncContext;
+    use crate::SyncError;
+
+    /// `PolicySpec::X.plan(&SyncContext::new(tau, T_P, T_P', rounds))`.
+    fn plan(
+        spec: PolicySpec,
+        tau_ns: f64,
+        t_p_ns: f64,
+        t_p_prime_ns: f64,
+        rounds: u32,
+    ) -> Result<SyncPlan, SyncError> {
+        spec.plan(&SyncContext::new(tau_ns, t_p_ns, t_p_prime_ns, rounds)?)
+    }
 
     #[test]
     fn passive_puts_everything_at_the_end() {
-        let p = plan_sync(SyncPolicy::Passive, 500.0, 1900.0, 1900.0, 8).unwrap();
+        let p = plan(PolicySpec::Passive, 500.0, 1900.0, 1900.0, 8).unwrap();
         assert_eq!(p.final_idle_ns, 500.0);
         assert!(p.pre_round_idle_ns.iter().all(|&x| x == 0.0));
         assert_eq!(p.total_idle_ns(), 500.0);
@@ -175,7 +82,7 @@ mod tests {
 
     #[test]
     fn active_distributes_evenly() {
-        let p = plan_sync(SyncPolicy::Active, 800.0, 1900.0, 1900.0, 8).unwrap();
+        let p = plan(PolicySpec::Active, 800.0, 1900.0, 1900.0, 8).unwrap();
         assert_eq!(p.pre_round_idle_ns.len(), 8);
         for &x in &p.pre_round_idle_ns {
             assert!((x - 100.0).abs() < 1e-9);
@@ -185,14 +92,14 @@ mod tests {
 
     #[test]
     fn active_intra_goes_inside_last_round() {
-        let p = plan_sync(SyncPolicy::ActiveIntra, 600.0, 1900.0, 1900.0, 8).unwrap();
+        let p = plan(PolicySpec::ActiveIntra, 600.0, 1900.0, 1900.0, 8).unwrap();
         assert_eq!(p.intra_round_idle_ns, 600.0);
         assert_eq!(p.final_idle_ns, 0.0);
     }
 
     #[test]
     fn extra_rounds_plan_has_no_idle() {
-        let p = plan_sync(SyncPolicy::ExtraRounds, 1000.0, 1000.0, 1325.0, 8).unwrap();
+        let p = plan(PolicySpec::ExtraRounds, 1000.0, 1000.0, 1325.0, 8).unwrap();
         assert_eq!(p.extra_rounds, 52);
         assert_eq!(p.total_idle_ns(), 0.0);
         assert_eq!(p.pre_round_idle_ns.len(), 60);
@@ -200,7 +107,7 @@ mod tests {
 
     #[test]
     fn hybrid_matches_table_2() {
-        let p = plan_sync(SyncPolicy::hybrid(400.0), 1000.0, 1000.0, 1325.0, 8).unwrap();
+        let p = plan(PolicySpec::hybrid(400.0), 1000.0, 1000.0, 1325.0, 8).unwrap();
         assert_eq!(p.extra_rounds, 4);
         assert!((p.total_idle_ns() - 300.0).abs() < 1e-9);
         // Residual spread across all 12 rounds.
@@ -213,26 +120,26 @@ mod tests {
     fn slack_wraps_modulo_cycle() {
         // tau larger than the lagging cycle time wraps (phase
         // difference).
-        let p = plan_sync(SyncPolicy::Passive, 2100.0, 1900.0, 1900.0, 8).unwrap();
+        let p = plan(PolicySpec::Passive, 2100.0, 1900.0, 1900.0, 8).unwrap();
         assert!((p.final_idle_ns - 200.0).abs() < 1e-9);
     }
 
     #[test]
     fn extra_rounds_rejects_equal_cycles() {
         assert!(matches!(
-            plan_sync(SyncPolicy::ExtraRounds, 500.0, 1900.0, 1900.0, 8),
+            plan(PolicySpec::ExtraRounds, 500.0, 1900.0, 1900.0, 8),
             Err(SyncError::EqualCycleTimes { .. })
         ));
     }
 
     #[test]
     fn zero_slack_is_noop_for_all_policies() {
-        for pol in [
-            SyncPolicy::Passive,
-            SyncPolicy::Active,
-            SyncPolicy::ActiveIntra,
+        for spec in [
+            PolicySpec::Passive,
+            PolicySpec::Active,
+            PolicySpec::ActiveIntra,
         ] {
-            let p = plan_sync(pol, 0.0, 1900.0, 1900.0, 8).unwrap();
+            let p = plan(spec, 0.0, 1900.0, 1900.0, 8).unwrap();
             assert_eq!(p.total_idle_ns(), 0.0);
             assert_eq!(p.extra_rounds, 0);
         }
@@ -240,29 +147,6 @@ mod tests {
 
     #[test]
     fn invalid_rounds_rejected() {
-        assert!(plan_sync(SyncPolicy::Active, 100.0, 1900.0, 1900.0, 0).is_err());
-    }
-
-    #[test]
-    fn policy_display() {
-        assert_eq!(SyncPolicy::Passive.to_string(), "Passive");
-        assert_eq!(SyncPolicy::hybrid(400.0).to_string(), "Hybrid(eps=400ns)");
-    }
-
-    #[test]
-    fn shim_agrees_with_the_strategy_api() {
-        let cases = [
-            (SyncPolicy::Passive, 1900.0, 1900.0),
-            (SyncPolicy::Active, 1900.0, 1900.0),
-            (SyncPolicy::ActiveIntra, 1900.0, 1900.0),
-            (SyncPolicy::ExtraRounds, 1000.0, 1325.0),
-            (SyncPolicy::hybrid(400.0), 1000.0, 1325.0),
-        ];
-        for (policy, tp, tpp) in cases {
-            let old = plan_sync(policy, 1000.0, tp, tpp, 8).unwrap();
-            let ctx = SyncContext::new(1000.0, tp, tpp, 8).unwrap();
-            let new = PolicySpec::from(policy).plan(&ctx).unwrap();
-            assert_eq!(old, new, "{policy}");
-        }
+        assert!(plan(PolicySpec::Active, 100.0, 1900.0, 1900.0, 0).is_err());
     }
 }

@@ -16,7 +16,6 @@
 //! tables.
 
 use crate::context::SyncContext;
-use crate::policy::SyncPolicy;
 use crate::solver::{solve_extra_rounds, solve_hybrid};
 use crate::{SyncError, SyncPlan};
 use std::fmt;
@@ -243,24 +242,6 @@ impl SyncStrategy for PolicySpec {
 
     fn describe(&self) -> PolicySpec {
         self.clone()
-    }
-}
-
-impl From<SyncPolicy> for PolicySpec {
-    fn from(policy: SyncPolicy) -> PolicySpec {
-        match policy {
-            SyncPolicy::Passive => PolicySpec::Passive,
-            SyncPolicy::Active => PolicySpec::Active,
-            SyncPolicy::ActiveIntra => PolicySpec::ActiveIntra,
-            SyncPolicy::ExtraRounds => PolicySpec::ExtraRounds,
-            SyncPolicy::Hybrid {
-                epsilon_ns,
-                max_extra_rounds,
-            } => PolicySpec::Hybrid {
-                epsilon_ns,
-                max_extra_rounds,
-            },
-        }
     }
 }
 
@@ -883,15 +864,6 @@ mod tests {
             }
             assert_eq!(spec.strategy().describe(), spec);
         }
-    }
-
-    #[test]
-    fn sync_policy_converts_to_spec() {
-        assert_eq!(PolicySpec::from(SyncPolicy::Passive), PolicySpec::Passive);
-        assert_eq!(
-            PolicySpec::from(SyncPolicy::hybrid(250.0)),
-            PolicySpec::hybrid(250.0)
-        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! End-to-end logical-error-rate evaluation.
 
+use crate::fusion::WindowView;
 use crate::scratch::{DecoderScratch, ScratchCapacity};
 use ftqc_circuit::Circuit;
 use ftqc_sim::{batch_plan, parallel_batches_with, BatchSpec, BinomialEstimate, SyndromeScanner};
@@ -19,9 +20,40 @@ pub trait Decoder: Sync {
     /// regardless of what previous decodes left in `scratch`.
     fn decode_into(&self, scratch: &mut DecoderScratch, syndrome: &[u32], correction: &mut u32);
 
+    /// Decodes one windowed-fusion sub-problem: `syndrome` holds
+    /// *view-local* detector ids (global id minus
+    /// [`WindowView::first_detector`]), sorted ascending, and the
+    /// predicted observable-flip mask lands in `correction`.
+    ///
+    /// The default implementation remaps the syndrome back to global
+    /// ids (through a scratch buffer, allocation-free in steady state)
+    /// and decodes it against the full problem with
+    /// [`decode_into`](Decoder::decode_into) — correct for any decoder,
+    /// and exactly right for table decoders, which have no graph to
+    /// slice. Graph-based decoders override this to materialize the
+    /// view's sub-graph ([`WindowView::ensure`]) and decode only the
+    /// window, which is what makes fused streaming O(window) per round.
+    fn decode_window_into(
+        &self,
+        scratch: &mut DecoderScratch,
+        view: &mut WindowView,
+        syndrome: &[u32],
+        correction: &mut u32,
+    ) {
+        let first = view.first_detector();
+        let mut global = std::mem::take(&mut scratch.window_remap);
+        global.clear();
+        global.extend(syndrome.iter().map(|&d| d + first));
+        self.decode_into(scratch, &global, correction);
+        scratch.window_remap = global;
+    }
+
     /// [`decode_into`](Decoder::decode_into) through a fresh workspace
     /// — the convenient allocating path for one-off decodes, tests and
-    /// studies off the hot loop.
+    /// studies off the hot loop. This is a thin trait-level convenience
+    /// wrapper; implementations never override it (bit-identity with
+    /// `decode_into` is part of the contract, not something each family
+    /// re-establishes).
     fn predict(&self, flagged: &[u32]) -> u32 {
         let mut scratch = DecoderScratch::new();
         let mut correction = 0;
@@ -29,16 +61,14 @@ pub trait Decoder: Sync {
         correction
     }
 
-    /// Worst-case scratch sizes for any decode through this decoder, or
-    /// `None` when the decoder cannot bound them. Decoders that *can*
-    /// (the graph-based families: every buffer's bound is a closed-form
-    /// function of the decoding graph) let callers preallocate with
-    /// [`DecoderScratch::for_decoder`], making even the first decode
-    /// allocation-free — and debug builds panic if a decode ever
+    /// Worst-case scratch sizes for any decode through this decoder.
+    /// Every buffer's bound is a closed-form function of the decoder's
+    /// inputs (the decoding graph for the matching families, the
+    /// training circuit for the table family), so callers preallocate
+    /// with [`DecoderScratch::for_decoder`], making even the first
+    /// decode allocation-free — and debug builds panic if a decode ever
     /// exceeds a declared bound.
-    fn scratch_capacity(&self) -> Option<ScratchCapacity> {
-        None
-    }
+    fn scratch_capacity(&self) -> ScratchCapacity;
 }
 
 impl<D: Decoder + ?Sized> Decoder for &D {
@@ -46,11 +76,17 @@ impl<D: Decoder + ?Sized> Decoder for &D {
         (**self).decode_into(scratch, syndrome, correction)
     }
 
-    fn predict(&self, flagged: &[u32]) -> u32 {
-        (**self).predict(flagged)
+    fn decode_window_into(
+        &self,
+        scratch: &mut DecoderScratch,
+        view: &mut WindowView,
+        syndrome: &[u32],
+        correction: &mut u32,
+    ) {
+        (**self).decode_window_into(scratch, view, syndrome, correction)
     }
 
-    fn scratch_capacity(&self) -> Option<ScratchCapacity> {
+    fn scratch_capacity(&self) -> ScratchCapacity {
         (**self).scratch_capacity()
     }
 }

@@ -184,6 +184,137 @@ impl DecodingGraph {
         }
     }
 
+    /// An empty graph, for window views that are rebuilt in place
+    /// ([`rebuild_window`](DecodingGraph::rebuild_window)).
+    pub(crate) fn empty() -> DecodingGraph {
+        DecodingGraph {
+            num_detectors: 0,
+            edges: Vec::new(),
+            rec: Vec::new(),
+            adj_off: Vec::new(),
+            adj: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Preallocates every internal buffer so that any
+    /// [`rebuild_window`](DecodingGraph::rebuild_window) over a
+    /// sub-range of `src` reallocates nothing.
+    pub(crate) fn reserve_for_window_of(&mut self, src: &DecodingGraph) {
+        let reserve = |v_len: usize, want: usize| want.saturating_sub(v_len);
+        self.edges.reserve(reserve(self.edges.len(), src.edges.len()));
+        self.rec.reserve(reserve(self.rec.len(), src.rec.len()));
+        self.adj_off
+            .reserve(reserve(self.adj_off.len(), src.num_detectors as usize + 1));
+        self.adj.reserve(reserve(self.adj.len(), src.adj.len()));
+    }
+
+    /// Rebuilds `self` in place as the window view of `src` over the
+    /// contiguous detector range `[dlo, dhi)`: local node `i` is global
+    /// detector `dlo + i`. Edges with both endpoints inside the range
+    /// stay internal; edges with exactly one endpoint inside are
+    /// remapped to *artificial-boundary* edges at that endpoint
+    /// (keeping their weight and observable mask) — these are the cut
+    /// edges windowed fusion stitches across — and edges entirely
+    /// outside are omitted. Returns the number of cut edges.
+    ///
+    /// For the full range (`dlo == 0`, `dhi == src.num_detectors()`)
+    /// the rebuilt view is bit-identical to `src` (same edge order,
+    /// same weights, same CSR layout), which is what lets a
+    /// window-covering-everything fused decode degenerate to the exact
+    /// batch decode. Reuses every buffer: allocation-free after
+    /// [`reserve_for_window_of`](DecodingGraph::reserve_for_window_of).
+    pub(crate) fn rebuild_window(&mut self, src: &DecodingGraph, dlo: u32, dhi: u32) -> u32 {
+        debug_assert!(dlo <= dhi && dhi <= src.num_detectors);
+        let n = (dhi - dlo) as usize;
+        self.num_detectors = n as u32;
+        self.dropped = 0;
+        self.edges.clear();
+        self.rec.clear();
+        let in_view = |d: u32| d != NO_NODE && d >= dlo && d < dhi;
+        let mut cut = 0u32;
+        // Each kept edge is claimed by exactly one in-view endpoint: its
+        // `u` endpoint when that is in view, else its `v` endpoint.
+        // Iterating nodes ascending and each node's CSR entries in
+        // ascending edge index keeps the full-range view in the source's
+        // exact edge order.
+        for g in dlo..dhi {
+            for &AdjEntry { edge, .. } in src.neighbors(g) {
+                let e = &src.rec[edge as usize];
+                let claimed = e.u == g || (e.v == g && !in_view(e.u));
+                if !claimed {
+                    continue;
+                }
+                let (local_u, local_v, is_cut) = if e.u == g {
+                    if in_view(e.v) {
+                        (e.u - dlo, e.v - dlo, false)
+                    } else {
+                        // Original boundary edges stay boundary edges;
+                        // out-of-window endpoints become artificial
+                        // boundary terminals (cut edges).
+                        (e.u - dlo, NO_NODE, e.v != NO_NODE)
+                    }
+                } else {
+                    (e.v - dlo, NO_NODE, true)
+                };
+                cut += u32::from(is_cut);
+                self.rec.push(EdgeRecord {
+                    weight: e.weight,
+                    u: local_u,
+                    v: local_v,
+                    observables: e.observables,
+                });
+                let cold = &src.edges[edge as usize];
+                self.edges.push(GraphEdge {
+                    u: local_u,
+                    v: (local_v != NO_NODE).then_some(local_v),
+                    probability: cold.probability,
+                    weight: cold.weight,
+                    observables: cold.observables,
+                });
+            }
+        }
+        // CSR: count, prefix-sum, scatter — the scatter advances each
+        // node's offset in place and the final shift restores it, so no
+        // cursor buffer is needed.
+        self.adj_off.clear();
+        self.adj_off.resize(n + 1, 0);
+        for e in &self.rec {
+            self.adj_off[e.u as usize + 1] += 1;
+            if e.v != NO_NODE {
+                self.adj_off[e.v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            self.adj_off[i + 1] += self.adj_off[i];
+        }
+        self.adj.clear();
+        self.adj
+            .resize(self.adj_off[n] as usize, AdjEntry { edge: 0, to: 0 });
+        for i in 0..self.rec.len() {
+            let e = self.rec[i];
+            let slot = self.adj_off[e.u as usize] as usize;
+            self.adj[slot] = AdjEntry {
+                edge: i as u32,
+                to: e.v,
+            };
+            self.adj_off[e.u as usize] += 1;
+            if e.v != NO_NODE {
+                let slot = self.adj_off[e.v as usize] as usize;
+                self.adj[slot] = AdjEntry {
+                    edge: i as u32,
+                    to: e.u,
+                };
+                self.adj_off[e.v as usize] += 1;
+            }
+        }
+        for i in (1..=n).rev() {
+            self.adj_off[i] = self.adj_off[i - 1];
+        }
+        self.adj_off[0] = 0;
+        cut
+    }
+
     /// Number of detector nodes.
     pub fn num_detectors(&self) -> u32 {
         self.num_detectors

@@ -240,16 +240,33 @@ impl Decoder for AnyDecoder {
         span.end_with(&[ftqc_telemetry::Arg::new("defects", syndrome.len() as f64)]);
     }
 
-    fn predict(&self, flagged: &[u32]) -> u32 {
+    fn decode_window_into(
+        &self,
+        scratch: &mut crate::DecoderScratch,
+        view: &mut crate::WindowView,
+        syndrome: &[u32],
+        correction: &mut u32,
+    ) {
+        // Same kind-tagged spans as `decode_into`, suffixed so a trace
+        // separates full-prefix decodes from windowed-fusion decodes.
+        let span = ftqc_telemetry::span(match self {
+            AnyDecoder::UnionFind(_) => "decode/union-find/window",
+            AnyDecoder::Mwpm(_) => "decode/mwpm/window",
+            AnyDecoder::Lut(_) => "decode/lut/window",
+            AnyDecoder::Hierarchical(_) => "decode/hierarchical/window",
+        });
         match self {
-            AnyDecoder::UnionFind(d) => d.predict(flagged),
-            AnyDecoder::Mwpm(d) => d.predict(flagged),
-            AnyDecoder::Lut(d) => d.predict(flagged),
-            AnyDecoder::Hierarchical(d) => d.predict(flagged),
+            AnyDecoder::UnionFind(d) => d.decode_window_into(scratch, view, syndrome, correction),
+            AnyDecoder::Mwpm(d) => d.decode_window_into(scratch, view, syndrome, correction),
+            AnyDecoder::Lut(d) => d.decode_window_into(scratch, view, syndrome, correction),
+            AnyDecoder::Hierarchical(d) => {
+                d.decode_window_into(scratch, view, syndrome, correction)
+            }
         }
+        span.end_with(&[ftqc_telemetry::Arg::new("defects", syndrome.len() as f64)]);
     }
 
-    fn scratch_capacity(&self) -> Option<crate::ScratchCapacity> {
+    fn scratch_capacity(&self) -> crate::ScratchCapacity {
         match self {
             AnyDecoder::UnionFind(d) => d.scratch_capacity(),
             AnyDecoder::Mwpm(d) => d.scratch_capacity(),

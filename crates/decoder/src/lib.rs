@@ -32,12 +32,17 @@
 //!   incrementally, with one scratch per worker thread.
 //! * [`StreamingDecoder`] — the real-time face of the stack: any
 //!   decoder consumed round by round through a sliding window of `W`
-//!   rounds, committing corrections for rounds that scroll out —
-//!   bit-identical to batch decoding by construction (telescoping XOR
-//!   deltas; the type's docs carry the argument).
-//!   [`count_batch_errors_streaming`] is its batch-driver form; the
-//!   `decode-latency` scenario of `ftqc-bench` measures its per-round
-//!   latency distribution.
+//!   rounds, committing corrections for rounds that scroll out.
+//!   Configured by [`StreamingConfig`] with two modes:
+//!   [`Exact`](StreamingMode::Exact) re-decodes the full accumulated
+//!   prefix each commit and is bit-identical to batch decoding by
+//!   construction (telescoping XOR deltas; the type's docs carry the
+//!   argument), while [`Fused`](StreamingMode::Fused) decodes only the
+//!   active window against a round-sliced [`WindowView`] of the graph
+//!   — O(window) per round, independent of stream length, with a
+//!   measured accuracy delta. [`count_batch_errors_streaming`] is the
+//!   batch-driver form; the `decode-latency` scenario of `ftqc-bench`
+//!   measures per-round latency for both modes.
 //!
 //! # Example
 //!
@@ -57,6 +62,7 @@
 //! ```
 
 mod evaluate;
+mod fusion;
 mod graph;
 mod hierarchical;
 mod kind;
@@ -67,11 +73,15 @@ mod streaming;
 mod union_find;
 
 pub use evaluate::{count_batch_errors, evaluate_ler, Decoder};
+pub use fusion::WindowView;
 pub use graph::{AdjEntry, DecodingGraph, DijkstraScratch, EdgeRecord, GraphEdge, NO_NODE};
 pub use hierarchical::{HierarchicalDecoder, LatencyModel, TimedDecode};
 pub use kind::{AnyDecoder, DecoderKind};
 pub use lut::LutDecoder;
 pub use mwpm::MwpmDecoder;
 pub use scratch::{DecoderScratch, ScratchCapacity};
-pub use streaming::{count_batch_errors_streaming, RoundCommit, StreamingDecoder};
+pub use streaming::{
+    count_batch_errors_streaming, CommitPolicy, RoundCommit, StreamingConfig, StreamingDecoder,
+    StreamingMode,
+};
 pub use union_find::UfDecoder;

@@ -1,7 +1,7 @@
 //! Capacity-limited lookup-table decoding (LILLIPUT-style).
 
 use crate::evaluate::Decoder;
-use crate::scratch::DecoderScratch;
+use crate::scratch::{DecoderScratch, ScratchCapacity};
 use ftqc_circuit::Circuit;
 use ftqc_sim::sample_batch;
 use std::collections::HashMap;
@@ -21,6 +21,7 @@ use std::collections::HashMap;
 pub struct LutDecoder {
     table: HashMap<Vec<u32>, u32>,
     bytes_per_entry: usize,
+    num_detectors: u32,
 }
 
 impl LutDecoder {
@@ -75,6 +76,7 @@ impl LutDecoder {
         LutDecoder {
             table: ranked.into_iter().map(|(_, s, m)| (s, m)).collect(),
             bytes_per_entry,
+            num_detectors: circuit.num_detectors(),
         }
     }
 
@@ -102,8 +104,14 @@ impl Decoder for LutDecoder {
         *correction = self.lookup(syndrome).unwrap_or(0);
     }
 
-    fn predict(&self, flagged: &[u32]) -> u32 {
-        self.lookup(flagged).unwrap_or(0)
+    /// The table decodes with no graph and no scratch; only the
+    /// remap buffer of the default windowed path needs `nodes` slots.
+    fn scratch_capacity(&self) -> ScratchCapacity {
+        ScratchCapacity {
+            nodes: self.num_detectors,
+            edges: 0,
+            exact_limit: 0,
+        }
     }
 }
 

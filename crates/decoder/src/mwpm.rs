@@ -1,9 +1,10 @@
 //! Minimum-weight perfect matching decoding.
 
 use crate::evaluate::Decoder;
+use crate::fusion::WindowView;
 use crate::graph::DecodingGraph;
 use crate::scratch::{DecoderScratch, MatchScratch, ScratchCapacity};
-use crate::union_find::UfDecoder;
+use crate::union_find::{uf_decode, UfDecoder};
 use std::sync::Arc;
 /// A minimum-weight perfect-matching decoder (the role PyMatching plays
 /// in the paper's toolchain).
@@ -70,85 +71,87 @@ impl MwpmDecoder {
     pub fn graph(&self) -> &DecodingGraph {
         &self.graph
     }
+}
 
-    /// Exact subset-DP matching over the flagged detectors, working out
-    /// of `s` (flattened `k x k` matrices plus the `2^k` DP tables).
-    /// Returns the observable mask of the minimum-weight pairing,
-    /// bit-identical to the historically allocating formulation.
-    fn match_exact(&self, s: &mut MatchScratch, flagged: &[u32]) -> u32 {
-        let k = flagged.len();
-        debug_assert!(
-            s.bound_k == u32::MAX || k <= s.bound_k as usize,
-            "MatchScratch bound overflow: {k} defects through a workspace bounded to {} \
-             (was the scratch built for a smaller exact limit?)",
-            s.bound_k
-        );
-        let boundary = self.graph.num_detectors() as usize;
-        // Pairwise distances and boundary distances with observable
-        // masks along shortest paths.
-        s.pair_d.clear();
-        s.pair_d.resize(k * k, f64::INFINITY);
-        s.pair_m.clear();
-        s.pair_m.resize(k * k, 0);
-        s.bdry_d.clear();
-        s.bdry_d.resize(k, f64::INFINITY);
-        s.bdry_m.clear();
-        s.bdry_m.resize(k, 0);
-        for (i, &f) in flagged.iter().enumerate() {
-            self.graph.dijkstra_to_with(f, flagged, &mut s.dijkstra);
-            for (j, &g) in flagged.iter().enumerate() {
-                s.pair_d[i * k + j] = s.dijkstra.dist[g as usize];
-                s.pair_m[i * k + j] = s.dijkstra.mask[g as usize];
-            }
-            s.bdry_d[i] = s.dijkstra.dist[boundary];
-            s.bdry_m[i] = s.dijkstra.mask[boundary];
+/// Exact subset-DP matching of the flagged detectors over an explicit
+/// `graph`, working out of `s` (flattened `k x k` matrices plus the
+/// `2^k` DP tables). Returns the observable mask of the minimum-weight
+/// pairing, bit-identical to the historically allocating formulation.
+/// [`MwpmDecoder`] calls this with its full graph; the windowed-fusion
+/// path calls it with a round-sliced [`WindowView`]'s sub-graph.
+fn match_exact(graph: &DecodingGraph, s: &mut MatchScratch, flagged: &[u32]) -> u32 {
+    let k = flagged.len();
+    debug_assert!(
+        s.bound_k == u32::MAX || k <= s.bound_k as usize,
+        "MatchScratch bound overflow: {k} defects through a workspace bounded to {} \
+         (was the scratch built for a smaller exact limit?)",
+        s.bound_k
+    );
+    let boundary = graph.num_detectors() as usize;
+    // Pairwise distances and boundary distances with observable
+    // masks along shortest paths.
+    s.pair_d.clear();
+    s.pair_d.resize(k * k, f64::INFINITY);
+    s.pair_m.clear();
+    s.pair_m.resize(k * k, 0);
+    s.bdry_d.clear();
+    s.bdry_d.resize(k, f64::INFINITY);
+    s.bdry_m.clear();
+    s.bdry_m.resize(k, 0);
+    for (i, &f) in flagged.iter().enumerate() {
+        graph.dijkstra_to_with(f, flagged, &mut s.dijkstra);
+        for (j, &g) in flagged.iter().enumerate() {
+            s.pair_d[i * k + j] = s.dijkstra.dist[g as usize];
+            s.pair_m[i * k + j] = s.dijkstra.mask[g as usize];
         }
-        // dp[mask] = (cost, choice) over unmatched defects in `mask`.
-        let full = (1usize << k) - 1;
-        s.dp.clear();
-        s.dp.resize(full + 1, f64::INFINITY);
-        s.choice.clear();
-        s.choice.resize(full + 1, (0, None));
-        s.dp[0] = 0.0;
-        for mask in 1..=full {
-            let i = mask.trailing_zeros() as usize;
-            let rest = mask & !(1 << i);
-            // Match i to the boundary.
-            if s.bdry_d[i] + s.dp[rest] < s.dp[mask] {
-                s.dp[mask] = s.bdry_d[i] + s.dp[rest];
-                s.choice[mask] = (i, None);
-            }
-            // Match i to another defect j.
-            let mut bits = rest;
-            while bits != 0 {
-                let j = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let sub = rest & !(1 << j);
-                let cost = s.pair_d[i * k + j] + s.dp[sub];
-                if cost < s.dp[mask] {
-                    s.dp[mask] = cost;
-                    s.choice[mask] = (i, Some(j));
-                }
-            }
-        }
-        // Reconstruct the observable mask.
-        let mut obs = 0u32;
-        let mut mask = full;
-        while mask != 0 {
-            let (i, j) = s.choice[mask];
-            match j {
-                None => {
-                    obs ^= s.bdry_m[i];
-                    mask &= !(1 << i);
-                }
-                Some(j) => {
-                    obs ^= s.pair_m[i * k + j];
-                    mask &= !(1 << i) & !(1 << j);
-                }
-            }
-        }
-        obs
+        s.bdry_d[i] = s.dijkstra.dist[boundary];
+        s.bdry_m[i] = s.dijkstra.mask[boundary];
     }
+    // dp[mask] = (cost, choice) over unmatched defects in `mask`.
+    let full = (1usize << k) - 1;
+    s.dp.clear();
+    s.dp.resize(full + 1, f64::INFINITY);
+    s.choice.clear();
+    s.choice.resize(full + 1, (0, None));
+    s.dp[0] = 0.0;
+    for mask in 1..=full {
+        let i = mask.trailing_zeros() as usize;
+        let rest = mask & !(1 << i);
+        // Match i to the boundary.
+        if s.bdry_d[i] + s.dp[rest] < s.dp[mask] {
+            s.dp[mask] = s.bdry_d[i] + s.dp[rest];
+            s.choice[mask] = (i, None);
+        }
+        // Match i to another defect j.
+        let mut bits = rest;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let sub = rest & !(1 << j);
+            let cost = s.pair_d[i * k + j] + s.dp[sub];
+            if cost < s.dp[mask] {
+                s.dp[mask] = cost;
+                s.choice[mask] = (i, Some(j));
+            }
+        }
+    }
+    // Reconstruct the observable mask.
+    let mut obs = 0u32;
+    let mut mask = full;
+    while mask != 0 {
+        let (i, j) = s.choice[mask];
+        match j {
+            None => {
+                obs ^= s.bdry_m[i];
+                mask &= !(1 << i);
+            }
+            Some(j) => {
+                obs ^= s.pair_m[i * k + j];
+                mask &= !(1 << i) & !(1 << j);
+            }
+        }
+    }
+    obs
 }
 
 impl Decoder for MwpmDecoder {
@@ -160,14 +163,38 @@ impl Decoder for MwpmDecoder {
         if syndrome.len() > self.exact_limit {
             return self.fallback.decode_into(scratch, syndrome, correction);
         }
-        *correction = self.match_exact(&mut scratch.matching, syndrome);
+        *correction = match_exact(&self.graph, &mut scratch.matching, syndrome);
     }
 
-    fn scratch_capacity(&self) -> Option<ScratchCapacity> {
-        Some(ScratchCapacity::for_graph(
-            &self.graph,
-            self.exact_limit as u32,
-        ))
+    fn decode_window_into(
+        &self,
+        scratch: &mut DecoderScratch,
+        view: &mut WindowView,
+        syndrome: &[u32],
+        correction: &mut u32,
+    ) {
+        if syndrome.is_empty() {
+            *correction = 0;
+            return;
+        }
+        view.ensure(&self.graph);
+        if syndrome.len() > self.exact_limit {
+            // Same heavy-syndrome fallback as the batch path, on the
+            // same windowed sub-graph.
+            uf_decode(
+                view.graph(),
+                view.uf_capacities(),
+                scratch,
+                syndrome,
+                correction,
+            );
+            return;
+        }
+        *correction = match_exact(view.graph(), &mut scratch.matching, syndrome);
+    }
+
+    fn scratch_capacity(&self) -> ScratchCapacity {
+        ScratchCapacity::for_graph(&self.graph, self.exact_limit as u32)
     }
 }
 
@@ -321,7 +348,7 @@ mod tests {
     #[test]
     fn declares_capacity_with_its_exact_limit() {
         let d = MwpmDecoder::new(chain_graph(4, 0.01)).with_exact_limit(6);
-        let cap = d.scratch_capacity().expect("mwpm declares its bound");
+        let cap = d.scratch_capacity();
         assert_eq!(cap.nodes, d.graph().num_detectors());
         assert_eq!(cap.exact_limit, 6);
     }

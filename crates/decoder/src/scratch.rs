@@ -118,6 +118,10 @@ fn reserve_to<T>(v: &mut Vec<T>, n: usize) {
 pub struct DecoderScratch {
     pub(crate) uf: UfScratch,
     pub(crate) matching: MatchScratch,
+    /// Local→global id remap buffer for the default
+    /// [`Decoder::decode_window_into`](crate::Decoder::decode_window_into)
+    /// path; bounded by `nodes`.
+    pub(crate) window_remap: Vec<u32>,
 }
 
 impl DecoderScratch {
@@ -134,18 +138,15 @@ impl DecoderScratch {
         let mut scratch = DecoderScratch::new();
         scratch.uf.bound(cap);
         scratch.matching.bound(cap);
+        reserve_to(&mut scratch.window_remap, cap.nodes as usize);
         scratch
     }
 
     /// [`with_capacity`](DecoderScratch::with_capacity) sized from the
     /// decoder's own declared bound
-    /// ([`Decoder::scratch_capacity`](crate::Decoder::scratch_capacity));
-    /// decoders that declare no bound get a plain unbounded workspace.
+    /// ([`Decoder::scratch_capacity`](crate::Decoder::scratch_capacity)).
     pub fn for_decoder<D: Decoder + ?Sized>(decoder: &D) -> DecoderScratch {
-        match decoder.scratch_capacity() {
-            Some(cap) => DecoderScratch::with_capacity(cap),
-            None => DecoderScratch::new(),
-        }
+        DecoderScratch::with_capacity(decoder.scratch_capacity())
     }
 }
 

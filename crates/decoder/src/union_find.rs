@@ -2,6 +2,7 @@
 //! index arenas.
 
 use crate::evaluate::Decoder;
+use crate::fusion::WindowView;
 use crate::graph::{DecodingGraph, NO_NODE};
 use crate::scratch::{
     DecoderScratch, ScratchCapacity, UfScratch, CLUSTER_BOUNDARY, DEFECT, NO_EDGE, PARITY,
@@ -39,6 +40,14 @@ pub struct UfDecoder {
 /// Scale factor from log-likelihood weight to integer growth units.
 const WEIGHT_SCALE: f64 = 4.0;
 
+/// Quantizes a log-likelihood weight into integer growth units — the
+/// single source of truth for edge capacities, shared by the full-graph
+/// decoder and the windowed-fusion views so a full-range view decodes
+/// bit-identically to the batch path.
+pub(crate) fn quantize_capacity(weight: f64) -> u32 {
+    ((weight * WEIGHT_SCALE).round() as u32).max(1)
+}
+
 impl UfDecoder {
     /// Wraps a decoding graph.
     pub fn new(graph: DecodingGraph) -> UfDecoder {
@@ -54,7 +63,7 @@ impl UfDecoder {
         let capacity = graph
             .edges()
             .iter()
-            .map(|e| ((e.weight * WEIGHT_SCALE).round() as u32).max(1))
+            .map(|e| quantize_capacity(e.weight))
             .collect();
         // analyzer: end-allow(alloc)
         UfDecoder { graph, capacity }
@@ -66,84 +75,119 @@ impl UfDecoder {
     }
 }
 
+/// The union-find decode core over an explicit `(graph, capacity)`
+/// pair: cluster growth plus peeling, writing the observable mask into
+/// `correction`. [`UfDecoder`] calls this with its full graph; the
+/// windowed-fusion path calls it with a round-sliced
+/// [`WindowView`](crate::WindowView)'s sub-graph and per-view
+/// capacities — same core, same arenas, so a full-range view decodes
+/// bit-identically to the batch path.
+pub(crate) fn uf_decode(
+    graph: &DecodingGraph,
+    capacity: &[u32],
+    scratch: &mut DecoderScratch,
+    syndrome: &[u32],
+    correction: &mut u32,
+) {
+    *correction = 0;
+    if syndrome.is_empty() {
+        return;
+    }
+    let n = graph.num_detectors() as usize;
+    let rec = graph.records();
+    debug_assert_eq!(capacity.len(), rec.len());
+    let s = &mut scratch.uf;
+    s.reset(n, rec.len());
+    for &f in syndrome {
+        s.mark[f as usize] |= DEFECT;
+        s.root[f as usize].flags |= PARITY;
+    }
+    // The root/frontier lists are borrowed out of the scratch for
+    // the growth loop (which needs `&mut s` for find/union) and
+    // handed back after, so their capacity is retained.
+    let mut roots = std::mem::take(&mut s.roots);
+    let mut frontier = std::mem::take(&mut s.frontier);
+    loop {
+        // Roots of still-odd, boundary-free clusters.
+        roots.clear();
+        for &x in syndrome {
+            let r = s.find(x);
+            if s.root[r as usize].flags & (PARITY | CLUSTER_BOUNDARY) == PARITY {
+                roots.push(r);
+            }
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        if roots.is_empty() {
+            break;
+        }
+        for &root in &roots {
+            // A merge earlier in this pass may have neutralized it.
+            let r = s.find(root);
+            if r != root || s.root[r as usize].flags & (PARITY | CLUSTER_BOUNDARY) != PARITY {
+                continue;
+            }
+            // Grow every unsaturated edge on the cluster frontier
+            // (members are walked through the intrusive list).
+            frontier.clear();
+            let mut node = s.root[root as usize].head;
+            while node != NO_NODE {
+                for a in graph.neighbors(node) {
+                    if s.grown[a.edge as usize] & SATURATED == 0 {
+                        frontier.push(a.edge);
+                    }
+                }
+                node = s.node[node as usize].next;
+            }
+            frontier.sort_unstable();
+            frontier.dedup();
+            for &ei in &frontier {
+                s.grown[ei as usize] += 1;
+                if s.grown[ei as usize] >= capacity[ei as usize] {
+                    s.grown[ei as usize] |= SATURATED;
+                    let e = &rec[ei as usize];
+                    if e.v == NO_NODE {
+                        let r = s.find(e.u);
+                        s.root[r as usize].flags |= CLUSTER_BOUNDARY;
+                    } else {
+                        s.union(e.u, e.v);
+                    }
+                }
+            }
+        }
+    }
+    s.roots = roots;
+    s.frontier = frontier;
+    // Peeling: build spanning forests over saturated edges and peel
+    // leaves, flipping defects toward the root (boundary-anchored
+    // when available).
+    *correction = peel(graph, s);
+}
+
 impl Decoder for UfDecoder {
     fn decode_into(&self, scratch: &mut DecoderScratch, syndrome: &[u32], correction: &mut u32) {
-        *correction = 0;
-        if syndrome.is_empty() {
-            return;
-        }
-        let n = self.graph.num_detectors() as usize;
-        let rec = self.graph.records();
-        let s = &mut scratch.uf;
-        s.reset(n, rec.len());
-        for &f in syndrome {
-            s.mark[f as usize] |= DEFECT;
-            s.root[f as usize].flags |= PARITY;
-        }
-        // The root/frontier lists are borrowed out of the scratch for
-        // the growth loop (which needs `&mut s` for find/union) and
-        // handed back after, so their capacity is retained.
-        let mut roots = std::mem::take(&mut s.roots);
-        let mut frontier = std::mem::take(&mut s.frontier);
-        loop {
-            // Roots of still-odd, boundary-free clusters.
-            roots.clear();
-            for &x in syndrome {
-                let r = s.find(x);
-                if s.root[r as usize].flags & (PARITY | CLUSTER_BOUNDARY) == PARITY {
-                    roots.push(r);
-                }
-            }
-            roots.sort_unstable();
-            roots.dedup();
-            if roots.is_empty() {
-                break;
-            }
-            for &root in &roots {
-                // A merge earlier in this pass may have neutralized it.
-                let r = s.find(root);
-                if r != root || s.root[r as usize].flags & (PARITY | CLUSTER_BOUNDARY) != PARITY {
-                    continue;
-                }
-                // Grow every unsaturated edge on the cluster frontier
-                // (members are walked through the intrusive list).
-                frontier.clear();
-                let mut node = s.root[root as usize].head;
-                while node != NO_NODE {
-                    for a in self.graph.neighbors(node) {
-                        if s.grown[a.edge as usize] & SATURATED == 0 {
-                            frontier.push(a.edge);
-                        }
-                    }
-                    node = s.node[node as usize].next;
-                }
-                frontier.sort_unstable();
-                frontier.dedup();
-                for &ei in &frontier {
-                    s.grown[ei as usize] += 1;
-                    if s.grown[ei as usize] >= self.capacity[ei as usize] {
-                        s.grown[ei as usize] |= SATURATED;
-                        let e = &rec[ei as usize];
-                        if e.v == NO_NODE {
-                            let r = s.find(e.u);
-                            s.root[r as usize].flags |= CLUSTER_BOUNDARY;
-                        } else {
-                            s.union(e.u, e.v);
-                        }
-                    }
-                }
-            }
-        }
-        s.roots = roots;
-        s.frontier = frontier;
-        // Peeling: build spanning forests over saturated edges and peel
-        // leaves, flipping defects toward the root (boundary-anchored
-        // when available).
-        *correction = peel(&self.graph, s);
+        uf_decode(&self.graph, &self.capacity, scratch, syndrome, correction);
     }
 
-    fn scratch_capacity(&self) -> Option<ScratchCapacity> {
-        Some(ScratchCapacity::for_graph(&self.graph, 0))
+    fn decode_window_into(
+        &self,
+        scratch: &mut DecoderScratch,
+        view: &mut WindowView,
+        syndrome: &[u32],
+        correction: &mut u32,
+    ) {
+        view.ensure(&self.graph);
+        uf_decode(
+            view.graph(),
+            view.uf_capacities(),
+            scratch,
+            syndrome,
+            correction,
+        );
+    }
+
+    fn scratch_capacity(&self) -> ScratchCapacity {
+        ScratchCapacity::for_graph(&self.graph, 0)
     }
 }
 
@@ -319,7 +363,7 @@ mod tests {
     #[test]
     fn declares_a_graph_sized_capacity() {
         let d = UfDecoder::new(chain_graph(4, 0.01));
-        let cap = d.scratch_capacity().expect("uf declares its bound");
+        let cap = d.scratch_capacity();
         assert_eq!(cap.nodes, d.graph().num_detectors());
         assert_eq!(cap.edges as usize, d.graph().edges().len());
         assert_eq!(cap.exact_limit, 0);

@@ -54,20 +54,20 @@ fn declared_capacity_matches_the_graph() {
     let uf = UfDecoder::new(graph.clone());
     assert_eq!(
         uf.scratch_capacity(),
-        Some(ScratchCapacity {
+        ScratchCapacity {
             nodes,
             edges,
             exact_limit: 0
-        })
+        }
     );
     let mwpm = MwpmDecoder::new(graph).with_exact_limit(8);
     assert_eq!(
         mwpm.scratch_capacity(),
-        Some(ScratchCapacity {
+        ScratchCapacity {
             nodes,
             edges,
             exact_limit: 8
-        })
+        }
     );
 }
 

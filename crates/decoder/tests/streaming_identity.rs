@@ -12,7 +12,7 @@
 use ftqc_circuit::Circuit;
 use ftqc_decoder::{
     count_batch_errors, count_batch_errors_streaming, Decoder, DecoderKind, DecoderScratch,
-    DecodingGraph, StreamingDecoder,
+    DecodingGraph, StreamingConfig,
 };
 use ftqc_noise::{CircuitNoiseModel, HardwareConfig};
 use ftqc_sim::{batch_plan, sample_batch, DetectorErrorModel, RoundSchedule, RoundStream};
@@ -62,7 +62,7 @@ fn assert_stream_matches_batch(
     let schedule = RoundSchedule::from_circuit(circuit);
     let batch = sample_batch(circuit, shots, seed);
     let mut rounds = RoundStream::new(&schedule);
-    let mut stream = StreamingDecoder::new(decoder, window);
+    let mut stream = StreamingConfig::exact(window).build(decoder, &schedule);
     let mut scratch = DecoderScratch::for_decoder(decoder);
     rounds.begin_batch(&batch);
     let mut defects = Vec::new();
@@ -162,7 +162,7 @@ fn window_at_least_total_rounds_degenerates_to_batch() {
     let schedule = RoundSchedule::from_circuit(&circuit);
     let batch = sample_batch(&circuit, 256, 41);
     let mut rounds = RoundStream::new(&schedule);
-    let mut stream = StreamingDecoder::new(&decoder, schedule.num_rounds() + 3);
+    let mut stream = StreamingConfig::exact(schedule.num_rounds() + 3).build(&decoder, &schedule);
     rounds.begin_batch(&batch);
     // Prime the (per-stream, cross-shot) empty-syndrome memo with one
     // defect-free shot so the counts below are exact.
@@ -216,7 +216,7 @@ fn empty_rounds_ride_the_memoized_fast_path() {
     let schedule = RoundSchedule::from_circuit(&circuit);
     let batch = sample_batch(&circuit, 512, 47);
     let mut rounds = RoundStream::new(&schedule);
-    let mut stream = StreamingDecoder::new(&decoder, 1);
+    let mut stream = StreamingConfig::exact(1).build(&decoder, &schedule);
     rounds.begin_batch(&batch);
     // Prime the empty-syndrome memo so the counts below are exact.
     stream.begin_shot();
@@ -275,7 +275,7 @@ fn defects_straddling_a_commit_boundary() {
             // commit boundary between r and r+1.
             let a = schedule.detectors_in(r).last().unwrap();
             let b = schedule.detectors_in(r + 1).next().unwrap();
-            let mut stream = StreamingDecoder::new(&decoder, 1);
+            let mut stream = StreamingConfig::exact(1).build(&decoder, &schedule);
             stream.begin_shot();
             let mut commits = Vec::new();
             for round in 0..schedule.num_rounds() {
@@ -314,10 +314,11 @@ fn out_of_order_round_indices_are_resorted() {
     let circuit = memory_circuit(3, 3e-3);
     let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
     let decoder = DecoderKind::Mwpm.build(&circuit, DecodingGraph::from_dem(&dem), 2025);
-    let n = RoundSchedule::from_circuit(&circuit).num_detectors();
+    let schedule = RoundSchedule::from_circuit(&circuit);
+    let n = schedule.num_detectors();
     // "Round 0" carries high indices, "round 1" low ones.
     let (hi, lo) = ([n - 2, n - 1], [0u32, 1]);
-    let mut stream = StreamingDecoder::new(&decoder, 2);
+    let mut stream = StreamingConfig::exact(2).build(&decoder, &schedule);
     stream.begin_shot();
     stream.push_round(&hi);
     stream.push_round(&lo);
@@ -335,7 +336,8 @@ fn parallel_streaming_driver_matches_batch_driver() {
         let decoder = kind.build(&circuit, DecodingGraph::from_dem(&dem), 2025);
         let batch = count_batch_errors(&circuit, &decoder, &plan, 2025, 2);
         for window in [1, 4] {
-            let streamed = count_batch_errors_streaming(&circuit, &decoder, window, &plan, 2025, 2);
+            let streamed =
+                count_batch_errors_streaming(&circuit, &decoder, StreamingConfig::exact(window), &plan, 2025, 2);
             assert_eq!(streamed, batch, "{name} W={window}");
         }
     }
@@ -344,8 +346,5 @@ fn parallel_streaming_driver_matches_batch_driver() {
 #[test]
 #[should_panic(expected = "window must be at least one round")]
 fn zero_window_is_rejected() {
-    let circuit = memory_circuit(3, 1e-3);
-    let (dem, _) = DetectorErrorModel::from_circuit(&circuit, true);
-    let decoder = DecoderKind::UnionFind.build(&circuit, DecodingGraph::from_dem(&dem), 1);
-    let _ = StreamingDecoder::new(&decoder, 0);
+    let _ = StreamingConfig::exact(0);
 }

@@ -7,6 +7,7 @@
 //! repro all [--full]
 //! repro --list
 //! repro check [--dem FILE | --distance D [--kind K] | --policy SPEC | --qasm FILE]
+//!             [--window W]
 //! ```
 //!
 //! Experiments: fig1c fig1d fig3c fig4a fig4b fig6 fig7 fig10 fig11
@@ -42,8 +43,13 @@
 //! the decoding graph and scratch capacity built from it (`FTQC013`,
 //! `FTQC014`), a policy spec's parameter domains (`FTQC015`), an
 //! experiment distance (`FTQC016`), or an OpenQASM file (`FTQC017`).
-//! Diagnostics go to stderr and exit 2; clean inputs report `ok` and
-//! exit 0 — the same contract as every other pre-flight flag.
+//! `--window W` additionally checks a fused streaming window against
+//! the graph from `--dem` or `--distance`: windows shorter than the
+//! graph's maximum round-spanning edge reach + 1 are rejected
+//! (`FTQC018`), since such a window can never hold both endpoints of
+//! that edge at once. Diagnostics go to stderr and exit 2; clean
+//! inputs report `ok` and exit 0 — the same contract as every other
+//! pre-flight flag.
 //!
 //! `--trace FILE` records a cross-layer telemetry trace of the whole
 //! run (sampling, scanning, decoding, streaming commits, runtime
@@ -109,7 +115,8 @@ fn usage_and_exit() -> ! {
     );
     eprintln!("       repro --list");
     eprintln!(
-        "       repro check [--dem FILE | --distance D [--kind K] | --policy SPEC | --qasm FILE]"
+        "       repro check [--dem FILE | --distance D [--kind K] | --policy SPEC | --qasm FILE] \
+         [--window W]"
     );
     eprintln!("experiments: {} all", ALL.join(" "));
     eprintln!("aliases: {}", ALIASES.join(" "));
@@ -130,6 +137,7 @@ fn check_and_exit(args: &[String]) -> ! {
     let mut kind_name: Option<String> = None;
     let mut policy: Option<String> = None;
     let mut qasm: Option<PathBuf> = None;
+    let mut window: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -143,6 +151,12 @@ fn check_and_exit(args: &[String]) -> ! {
             "--kind" => kind_name = Some(flag_value(args, &mut i, "--kind").to_string()),
             "--policy" => policy = Some(flag_value(args, &mut i, "--policy").to_string()),
             "--qasm" => qasm = Some(PathBuf::from(flag_value(args, &mut i, "--qasm"))),
+            "--window" => {
+                window = Some(parse_or_exit(
+                    flag_value(args, &mut i, "--window"),
+                    "--window",
+                ))
+            }
             flag => {
                 eprintln!("check: unknown argument `{flag}`");
                 usage_and_exit();
@@ -156,6 +170,10 @@ fn check_and_exit(args: &[String]) -> ! {
     }
     if kind_name.is_some() && distance.is_none() {
         eprintln!("check: --kind only applies with --distance");
+        usage_and_exit();
+    }
+    if window.is_some() && dem.is_none() && distance.is_none() {
+        eprintln!("check: --window needs a graph to check against (pass --dem or --distance)");
         usage_and_exit();
     }
     let kind = match kind_name.as_deref() {
@@ -189,6 +207,22 @@ fn check_and_exit(args: &[String]) -> ! {
                     let model = file.to_model();
                     let graph = ftqc_decoder::DecodingGraph::from_dem(&model);
                     diags.extend(artifact::validate_graph(&label, &graph));
+                    if let Some(w) = window {
+                        // Round tags from the file's `detector` lines,
+                        // indexed by detector id.
+                        let mut rounds: Vec<(u32, u32)> = file
+                            .detectors
+                            .iter()
+                            .map(|&(_, id, r)| (id, r as u32))
+                            .collect();
+                        rounds.sort_unstable();
+                        diags.extend(artifact::validate_window(
+                            &label,
+                            &graph,
+                            |d| rounds[d as usize].1,
+                            w as u32,
+                        ));
+                    }
                     let decoder = ftqc_decoder::UfDecoder::new(graph);
                     diags.extend(artifact::validate_scratch(
                         &label,
@@ -221,6 +255,15 @@ fn check_and_exit(args: &[String]) -> ! {
                 pipeline.dem(),
                 pipeline.decoder().scratch_capacity(),
             ));
+            if let Some(w) = window {
+                let schedule = ftqc_sim::RoundSchedule::from_circuit(pipeline.circuit());
+                diags.extend(artifact::validate_window(
+                    &label,
+                    pipeline.graph(),
+                    |det| schedule.round_of(det),
+                    w as u32,
+                ));
+            }
             if diags.is_empty() {
                 passed.push(format!("distance {d} ({kind})"));
             }

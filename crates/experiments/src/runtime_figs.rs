@@ -47,7 +47,7 @@ pub mod runtime {
     /// are computed by a sequential event loop that this probe does not
     /// touch.
     fn trace_decode_probe(config: &Config) {
-        use ftqc_decoder::{DecoderKind, StreamingDecoder};
+        use ftqc_decoder::{DecoderKind, StreamingConfig};
         use ftqc_sim::{sample_batch, RoundSchedule, RoundStream, StopRule};
         use ftqc_surface::MemoryConfig;
 
@@ -62,16 +62,21 @@ pub mod runtime {
         let schedule = RoundSchedule::from_circuit(pipeline.circuit());
         let batch = sample_batch(pipeline.circuit(), 64, config.seed);
         let mut rounds = RoundStream::new(&schedule);
-        let mut stream = StreamingDecoder::new(pipeline.decoder(), 2);
         let mut defects = Vec::with_capacity(schedule.max_round_len());
-        rounds.begin_batch(&batch);
-        for s in 0..batch.shots.min(8) {
-            rounds.begin_shot(s);
-            stream.begin_shot();
-            while rounds.next_round_into(&batch, &mut defects).is_some() {
-                let _ = stream.push_round(&defects);
+        // Both streaming modes, so recordings carry the exact commit
+        // events (stream/commit) and the fused stitch provenance
+        // (stream/fuse + decode/*/window spans).
+        for config in [StreamingConfig::exact(2), StreamingConfig::fused(2, 1)] {
+            let mut stream = config.build(pipeline.decoder(), &schedule);
+            rounds.begin_batch(&batch);
+            for s in 0..batch.shots.min(8) {
+                rounds.begin_shot(s);
+                stream.begin_shot();
+                while rounds.next_round_into(&batch, &mut defects).is_some() {
+                    let _ = stream.push_round(&defects);
+                }
+                let _ = stream.finish_shot();
             }
-            let _ = stream.finish_shot();
         }
     }
 

@@ -4,8 +4,9 @@
 //! The paper's headline claim is *program-level*: desynchronization
 //! inflates application runtime, and the Active / Extra-Rounds / Hybrid
 //! policies recover most of it (Section 6). The rest of this workspace
-//! provides the per-operation pieces — `plan_sync` plans one pairwise
-//! synchronization, the `ftqc-sync` `Controller` ticks a patch table,
+//! provides the per-operation pieces — a `PolicySpec` plans one
+//! pairwise synchronization, the `ftqc-sync` `Controller` ticks a
+//! patch table,
 //! `ftqc-estimator` sizes a workload — and this crate composes them
 //! into a whole-program simulator:
 //!

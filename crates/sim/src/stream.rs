@@ -131,6 +131,43 @@ impl RoundSchedule {
     pub fn max_round_len(&self) -> usize {
         self.max_round_len
     }
+
+    /// The detector-index envelope `[lo, hi)` of round `r`: the
+    /// smallest contiguous index range containing every detector of the
+    /// round. For the circuit builders in this workspace each round is
+    /// a single run, so the envelope is exact; for interleaved rounds
+    /// it may cover foreign detectors, which windowed-fusion consumers
+    /// treat as a (harmless) widening of the round slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= num_rounds()`.
+    pub fn round_envelope(&self, r: u32) -> (u32, u32) {
+        let runs = self.runs_in(r);
+        let lo = runs.iter().map(|&(lo, _)| lo).min().expect("round has runs");
+        let hi = runs.iter().map(|&(_, hi)| hi).max().expect("round has runs");
+        (lo, hi)
+    }
+
+    /// The merged detector-index envelope of the round range
+    /// `[lo_round, hi_round)` (clamped to the schedule), or `(0, 0)`
+    /// when the clamped range is empty — the contiguous detector slice
+    /// a windowed-fusion decoder materializes for that round window.
+    pub fn window_envelope(&self, lo_round: u32, hi_round: u32) -> (u32, u32) {
+        let hi_round = hi_round.min(self.num_rounds());
+        let lo_round = lo_round.min(hi_round);
+        if lo_round == hi_round {
+            return (0, 0);
+        }
+        let mut lo = u32::MAX;
+        let mut hi = 0;
+        for r in lo_round..hi_round {
+            let (rlo, rhi) = self.round_envelope(r);
+            lo = lo.min(rlo);
+            hi = hi.max(rhi);
+        }
+        (lo, hi)
+    }
 }
 
 /// Replays one shot of a [`SampleBatch`] round by round.
@@ -362,6 +399,25 @@ mod tests {
                 assert_eq!(ranged, expect, "shot {s} range {lo}..{hi}");
             }
         }
+    }
+
+    #[test]
+    fn envelopes_cover_their_rounds() {
+        let c = chain_circuit(3, 4, 0.1);
+        let s = RoundSchedule::from_circuit(&c);
+        for r in 0..s.num_rounds() {
+            let (lo, hi) = s.round_envelope(r);
+            for d in s.detectors_in(r) {
+                assert!(d >= lo && d < hi, "round {r} detector {d} outside [{lo},{hi})");
+            }
+        }
+        // Contiguous builders: the window envelope is the union of the
+        // per-round envelopes, and clamping is saturating.
+        assert_eq!(s.window_envelope(0, 4), (0, 12));
+        assert_eq!(s.window_envelope(1, 3), (3, 9));
+        assert_eq!(s.window_envelope(2, 99), (6, 12));
+        assert_eq!(s.window_envelope(4, 4), (0, 0));
+        assert_eq!(s.window_envelope(7, 5), (0, 0));
     }
 
     #[test]

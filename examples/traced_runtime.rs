@@ -11,7 +11,7 @@
 //! `OUT_DIR/traced_runtime.summary.json` (default `OUT_DIR`: `results`),
 //! and prints the span-attribution table — where the nanoseconds went.
 
-use ftqc::decoder::{DecoderKind, StreamingDecoder};
+use ftqc::decoder::{DecoderKind, StreamingConfig};
 use ftqc::estimator::{workloads, LogicalEstimate};
 use ftqc::experiments::EvalPipeline;
 use ftqc::noise::HardwareConfig;
@@ -52,7 +52,7 @@ fn main() {
     let schedule = RoundSchedule::from_circuit(pipeline.circuit());
     let batch = sample_batch(pipeline.circuit(), 64, 7);
     let mut rounds = RoundStream::new(&schedule);
-    let mut stream = StreamingDecoder::new(pipeline.decoder(), 2);
+    let mut stream = StreamingConfig::exact(2).build(pipeline.decoder(), &schedule);
     let mut defects = Vec::with_capacity(schedule.max_round_len());
     rounds.begin_batch(&batch);
     for shot in 0..batch.shots.min(16) {

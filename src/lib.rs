@@ -82,13 +82,16 @@
 //! ```
 //!
 //! Or decode in **real time**: feed syndrome rounds one at a time
-//! through [`decoder::StreamingDecoder`], which wraps any batch
-//! decoder in a sliding window of `W` rounds and commits a final
-//! correction for each round that scrolls out — bit-identical to
-//! batch decoding of the full syndrome, for every decoder family:
+//! through [`decoder::StreamingDecoder`], built by a
+//! [`decoder::StreamingConfig`] that wraps any batch decoder in a
+//! sliding window of `W` rounds and commits a final correction for
+//! each round that scrolls out. Exact mode is bit-identical to batch
+//! decoding of the full syndrome for every decoder family; fused mode
+//! (`StreamingConfig::fused(window, overlap)`) decodes only the active
+//! window for O(window) per-round cost at a measured accuracy delta:
 //!
 //! ```
-//! use ftqc::decoder::{DecoderKind, StreamingDecoder};
+//! use ftqc::decoder::{DecoderKind, StreamingConfig};
 //! use ftqc::experiments::EvalPipeline;
 //! use ftqc::noise::HardwareConfig;
 //! use ftqc::sim::{sample_batch, RoundSchedule, RoundStream};
@@ -103,7 +106,8 @@
 //! let batch = sample_batch(pipeline.circuit(), 64, 5);
 //!
 //! let mut rounds = RoundStream::new(&schedule);
-//! let mut stream = StreamingDecoder::new(pipeline.decoder(), 2); // W = 2
+//! let mut stream = StreamingConfig::exact(2) // W = 2
+//!     .build(pipeline.decoder(), &schedule);
 //! let mut defects = Vec::with_capacity(schedule.max_round_len());
 //! rounds.begin_batch(&batch);
 //! rounds.begin_shot(0);
@@ -119,9 +123,10 @@
 //! ```
 //!
 //! `cargo run --release --example streaming_decode` narrates one
-//! shot's commits and proves streaming ≡ batch over 20 000 shots; the
-//! `decode-latency` bench scenario tracks the per-round latency
-//! distribution of this path.
+//! shot's commits, proves exact streaming ≡ batch over 20 000 shots,
+//! and reports the fused-mode accuracy delta; the `decode-latency`
+//! bench scenario tracks the per-round latency distribution of both
+//! modes and `fusion-accuracy` tracks the fused-vs-batch LER delta.
 //!
 //! To see *where inside a run* the time goes, install a
 //! [`telemetry::RingSink`] before running any of the above and export
